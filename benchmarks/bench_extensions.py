@@ -1,0 +1,84 @@
+"""Extension benches: Xeon portability and the crossover map.
+
+Both address paper claims that have no figure of their own:
+
+* the conclusion's portability claim ("expected to be ... beneficial on
+  the Intel Xeon multicore platform");
+* the implicit claim that the shared-Fock code's advantage is a
+  granularity effect, which predicts the private/shared crossover moves
+  with the dataset's shell count.
+"""
+
+from repro.analysis.tables import render_table
+from repro.machine.system import THETA, XEON_CLUSTER
+from repro.perfsim.scaling import crossover_nodes
+from repro.perfsim.simulate import RunConfig, simulate_fock_build
+from repro.perfsim.workload import Workload
+
+
+def test_xeon_portability(benchmark, emit, cost_model):
+    """Hybrid vs stock on a Broadwell-Xeon cluster (1.0 nm, 8 nodes)."""
+
+    def run():
+        wl = Workload.for_dataset("1.0nm")
+        rows = []
+        for system, rpn, tpr in (
+            (THETA, 4, 64),
+            (XEON_CLUSTER, 2, 36),
+        ):
+            stock = simulate_fock_build(
+                wl, RunConfig.mpi_only(system=system, nodes=8), cost_model
+            )
+            hybrid = simulate_fock_build(
+                wl,
+                RunConfig.hybrid("shared-fock", system=system, nodes=8,
+                                 ranks_per_node=rpn, threads_per_rank=tpr),
+                cost_model,
+            )
+            rows.append(
+                [system.node.model,
+                 f"{stock.total_seconds:.0f}",
+                 f"{hybrid.total_seconds:.0f}",
+                 f"{stock.total_seconds / hybrid.total_seconds:.2f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "extension_xeon_portability",
+        render_table(
+            ["node type", "stock s", "shared-fock s", "hybrid gain"], rows
+        )
+        + "\npaper: optimizations 'expected to be ... beneficial on the "
+        "Intel Xeon multicore platform' (with the larger gain on Phi).",
+    )
+    knl_gain = float(rows[0][3].rstrip("x"))
+    xeon_gain = float(rows[1][3].rstrip("x"))
+    assert xeon_gain > 1.0          # hybrids help on Xeon too
+    assert knl_gain > xeon_gain     # ...and help more on the many-core Phi
+
+
+def test_crossover_map(benchmark, emit, cost_model):
+    """Node count where shared Fock overtakes private Fock, per dataset."""
+
+    def run():
+        rows = []
+        for label in ("0.5nm", "1.0nm", "1.5nm", "2.0nm"):
+            wl = Workload.for_dataset(label)
+            x = crossover_nodes(wl, cost_model)
+            rows.append([label, str(wl.nshells), str(x)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "extension_crossover_map",
+        render_table(
+            ["dataset", "shells (Alg-2 task count)", "crossover nodes"],
+            rows,
+        )
+        + "\npaper Table 3 places the 2.0 nm crossover by 128 nodes.",
+    )
+    xs = [int(r[2]) for r in rows]
+    # More shells -> private Fock survives to larger node counts.
+    assert xs == sorted(xs)
+    assert xs[-1] <= 128

@@ -1,0 +1,27 @@
+"""Reproduce Figure 3: affinity-type sweep of the shared-Fock code."""
+
+from repro.analysis.figures import figure3_affinity
+from repro.analysis.report import render_series
+
+
+def test_figure3_affinity(benchmark, emit, cost_model):
+    series = benchmark.pedantic(
+        lambda: figure3_affinity(cost_model), rounds=1, iterations=1
+    )
+    emit(
+        "fig3_affinity",
+        render_series(
+            series,
+            "Shared-Fock, 1.0 nm, 1 JLSE node, 4 MPI ranks; "
+            "x = threads/rank, cells = seconds",
+        ),
+    )
+    s = {x.label: x for x in series}
+    mid = s["balanced"].x.index(8)
+    # Paper shape: balanced/scatter best, compact worse mid-range, none
+    # worst; all converge once every hardware thread is occupied.
+    assert s["compact"].seconds[mid] > 1.3 * s["balanced"].seconds[mid]
+    assert s["none"].seconds[mid] > s["balanced"].seconds[mid]
+    assert abs(s["scatter"].seconds[mid] / s["balanced"].seconds[mid] - 1) < 0.1
+    last = s["balanced"].x.index(64)
+    assert s["compact"].seconds[last] < 1.1 * s["balanced"].seconds[last]

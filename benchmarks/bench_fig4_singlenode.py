@@ -1,0 +1,33 @@
+"""Reproduce Figure 4: single-node scaling vs hardware threads, 1.0 nm."""
+
+from repro.analysis.figures import figure4_single_node
+from repro.analysis.report import render_series
+
+
+def test_figure4_single_node(benchmark, emit, cost_model):
+    series = benchmark.pedantic(
+        lambda: figure4_single_node(cost_model), rounds=1, iterations=1
+    )
+    emit(
+        "fig4_singlenode",
+        render_series(
+            series,
+            "1.0 nm, one JLSE node; x = hardware threads, cells = seconds "
+            "((mem) = exceeds node memory)",
+        ),
+    )
+    s = {x.label: x for x in series}
+    # Stock code: limited to 128 hardware threads by memory.
+    mpi = s["mpi-only"]
+    assert mpi.feasible[mpi.x.index(128)]
+    assert not mpi.feasible[mpi.x.index(256)]
+    # Hybrids reach all 256 hardware threads.
+    for alg in ("private-fock", "shared-fock"):
+        assert all(s[alg].feasible)
+    # At 64 threads the hybrids beat the stock code; private Fock gives
+    # the best single-node time-to-solution overall (paper section 6.1).
+    i64 = mpi.x.index(64)
+    assert s["private-fock"].seconds[i64] < mpi.seconds[i64]
+    assert s["shared-fock"].seconds[i64] < mpi.seconds[i64]
+    best = {a: min(s[a].seconds) for a in s}
+    assert best["private-fock"] <= best["shared-fock"] < best["mpi-only"]

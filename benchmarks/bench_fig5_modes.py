@@ -1,0 +1,61 @@
+"""Reproduce Figure 5: cluster-mode x memory-mode sweep (0.5 & 2.0 nm)."""
+
+from repro.analysis.figures import figure5_modes
+from repro.analysis.tables import render_table
+
+
+def test_figure5_modes(benchmark, emit, cost_model):
+    out = benchmark.pedantic(
+        lambda: figure5_modes(cost_model), rounds=1, iterations=1
+    )
+    for label, recs in out.items():
+        rows = []
+        for r in recs:
+            rows.append(
+                [
+                    r["cluster"], r["memory"], r["algorithm"],
+                    f"{r['seconds']:.0f}" if r["feasible"] else "(mem)",
+                ]
+            )
+        emit(
+            f"fig5_modes_{label.replace('.', '_')}",
+            render_table(["cluster", "memory", "algorithm", "seconds"], rows),
+        )
+
+    def t(label, cluster, memory, alg):
+        for r in out[label]:
+            if (
+                r["cluster"] == cluster
+                and r["memory"] == memory
+                and r["algorithm"] == alg
+            ):
+                return r["seconds"] if r["feasible"] else None
+        raise KeyError((label, cluster, memory, alg))
+
+    # Paper's Figure-5 findings:
+    # 1) private Fock best in every cluster/memory mode;
+    for label in ("0.5nm", "2.0nm"):
+        for cl in ("quadrant", "snc-4", "all-to-all"):
+            for mm in ("cache", "flat-ddr"):
+                pf = t(label, cl, mm, "private-fock")
+                for other in ("mpi-only", "shared-fock"):
+                    v = t(label, cl, mm, other)
+                    if v is not None:
+                        assert pf <= v * 1.001, (label, cl, mm, other)
+    # 2) outside all-to-all, shared Fock clearly beats the stock code;
+    for label in ("0.5nm", "2.0nm"):
+        for cl in ("quadrant", "snc-4"):
+            assert t(label, cl, "cache", "shared-fock") < t(
+                label, cl, "cache", "mpi-only"
+            )
+    # 3) in all-to-all the stock code overtakes shared Fock for the
+    #    small dataset and sits near parity for the large one.
+    assert t("0.5nm", "all-to-all", "cache", "mpi-only") <= t(
+        "0.5nm", "all-to-all", "cache", "shared-fock"
+    )
+    big_ratio = t("2.0nm", "all-to-all", "cache", "shared-fock") / t(
+        "2.0nm", "all-to-all", "cache", "mpi-only"
+    )
+    assert 0.6 < big_ratio < 1.7
+    # 4) the large stock-MPI footprint cannot run flat-from-MCDRAM.
+    assert t("2.0nm", "quadrant", "flat-mcdram", "mpi-only") is None

@@ -1,0 +1,32 @@
+"""Reproduce Figure 7: shared-Fock scaling of the 5.0 nm system."""
+
+from repro.analysis.figures import figure7_5nm_scaling
+from repro.analysis.report import render_series
+from repro.core.memory_model import AlgorithmKind, MemoryModel, NodeConfig
+
+
+def test_figure7_5nm(benchmark, emit, cost_model):
+    series = benchmark.pedantic(
+        lambda: figure7_5nm_scaling(cost_model), rounds=1, iterations=1
+    )
+    emit(
+        "fig7_5nm_scaling",
+        render_series(
+            [series],
+            "Shared-Fock, 5.0 nm (30,240 BFs), Theta, 4 ranks x 64 "
+            "threads per node; x = nodes, cells = seconds",
+        ),
+    )
+    # Paper: the 5.0 nm dataset is the largest that fits, ~208 GB/node
+    # at 4 ranks, and scales to 3,000 nodes (192,000 cores).
+    mm = MemoryModel(30240, 8064)
+    gb = mm.per_node_bytes(AlgorithmKind.SHARED_FOCK, NodeConfig(4, 64)) / 1e9
+    assert 80 < gb + 4 < 220  # matrices + ~1 GB/rank base near the limit
+    assert all(series.feasible)
+    # Monotone decreasing time up to 3,000 nodes = good scaling.
+    assert all(
+        a > b for a, b in zip(series.seconds[:-1], series.seconds[1:])
+    )
+    speedup = series.seconds[0] / series.seconds[-1]
+    nodes_ratio = series.x[-1] / series.x[0]
+    assert speedup > 0.5 * nodes_ratio  # >50% efficiency across the sweep

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the computational kernels (real timings).
+
+These exercise the actual Python/NumPy kernels — integral evaluation,
+Fock construction, screening statistics — under pytest-benchmark, so
+performance regressions in the substrate are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.molecule import water
+from repro.core.fock_shared import SharedFockBuilder
+from repro.core.quartets import QuartetEngine
+from repro.core.screening import prefix_survivor_counts
+from repro.integrals.boys import boys
+from repro.integrals.eri import ShellPair, eri_shell_quartet
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
+from repro.scf.fock_dense import eri_tensor, fock_from_eri
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return BasisSet(water(), "sto-3g")
+
+
+@pytest.fixture(scope="module")
+def basis_d():
+    return BasisSet(water(), "6-31g(d)")
+
+
+def test_boys_function(benchmark):
+    xs = np.linspace(0.0, 50.0, 10_000)
+    out = benchmark(lambda: boys(8, xs))
+    assert out.shape == (9, 10_000)
+
+
+def test_overlap_matrix(benchmark, basis_d):
+    s = benchmark(lambda: overlap_matrix(basis_d))
+    assert s.shape == (19, 19)
+
+
+def test_eri_shell_quartet_dddd(benchmark, basis_d):
+    d_shell = next(s for s in basis_d.shells if s.l == 2)
+    pair = ShellPair(d_shell, d_shell)
+    block = benchmark(lambda: eri_shell_quartet(pair, pair))
+    assert block.shape == (6, 6, 6, 6)
+
+
+def test_dense_eri_tensor(benchmark, basis):
+    eri = benchmark.pedantic(lambda: eri_tensor(basis), rounds=1, iterations=1)
+    assert eri.shape == (7, 7, 7, 7)
+
+
+def test_dense_fock_build(benchmark, basis):
+    eri = eri_tensor(basis)
+    h = kinetic_matrix(basis) + nuclear_matrix(basis)
+    rng = np.random.default_rng(0)
+    d = rng.standard_normal((7, 7))
+    d = d + d.T
+    f = benchmark(lambda: fock_from_eri(h, eri, d))
+    assert f.shape == (7, 7)
+
+
+def test_shared_fock_algorithm_build(benchmark, basis):
+    h = kinetic_matrix(basis) + nuclear_matrix(basis)
+    builder = SharedFockBuilder(basis, h, nranks=2, nthreads=4)
+    rng = np.random.default_rng(0)
+    d = rng.standard_normal((7, 7))
+    d = d + d.T
+    f, stats = benchmark.pedantic(
+        lambda: builder(d), rounds=1, iterations=2
+    )
+    assert stats.quartets_computed > 0
+
+
+def test_quartet_engine_block(benchmark, basis_d):
+    eng = QuartetEngine(basis_d)
+    eng.composite_block(3, 1, 2, 0)  # warm the pair cache
+    block = benchmark(lambda: eng.composite_block(3, 1, 2, 0))
+    assert block.ndim == 4
+
+
+def test_prefix_survivor_counts_100k(benchmark):
+    rng = np.random.default_rng(1)
+    q = np.abs(rng.lognormal(-6, 4, 100_000))
+    out = benchmark.pedantic(
+        lambda: prefix_survivor_counts(q, 1e-10), rounds=1, iterations=1
+    )
+    assert out.size == 100_000

@@ -1,0 +1,41 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rendered output to ``benchmarks/results/<name>.txt`` (and to
+stdout).  The pytest-benchmark timer wraps the regeneration so the
+harness also reports how long each reproduction takes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    """The calibrated cost model, built once per benchmark session."""
+    from repro.perfsim.cost_model import calibrated_cost_model
+
+    return calibrated_cost_model()
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a rendered table/figure to the results dir and stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n", flush=True)
+
+    return _emit

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scaling study: the three HF parallelizations on simulated Theta.
+
+Reproduces the core of the paper's evaluation for a dataset of your
+choice: time-to-solution and parallel efficiency of the MPI-only,
+private-Fock and shared-Fock codes across node counts, using the
+calibrated performance model driven by the dataset's real screening
+statistics.
+
+Usage:  python examples/graphene_scaling_study.py [dataset] [nodes...]
+        python examples/graphene_scaling_study.py 1.0nm 4 16 64 256
+"""
+
+import sys
+
+from repro.analysis.report import format_seconds
+from repro.machine.system import THETA
+from repro.perfsim.cost_model import calibrated_cost_model
+from repro.perfsim.scaling import node_scaling
+from repro.perfsim.workload import Workload
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "1.0nm"
+    nodes = [int(x) for x in sys.argv[2:]] or [4, 16, 64, 128, 256, 512]
+
+    print(f"Building workload for the {dataset} bilayer-graphene dataset...")
+    wl = Workload.for_dataset(dataset)
+    print(f"  {wl.natoms} atoms, {wl.nbf} basis functions, "
+          f"{wl.nshells} shells")
+    print(f"  {wl.npair_tasks:,} bra (ij) tasks, "
+          f"{wl.n_significant_tasks:,} significant after prescreening")
+    print(f"  {wl.total_quartets:.2e} surviving quartets per Fock build "
+          f"({100 * wl.screening_fraction():.1f}% screened out)")
+
+    cost = calibrated_cost_model()
+    print(f"\nSimulated Fock-build time on {THETA.name} "
+          f"(hybrids: 4 ranks x 64 threads/node):\n")
+    header = f"{'nodes':>6s}" + "".join(
+        f"{a:>16s}{'eff%':>6s}"
+        for a in ("mpi-only", "private-fock", "shared-fock")
+    )
+    print(header)
+    print("-" * len(header))
+
+    curves = {
+        alg: node_scaling(wl, alg, nodes, cost)
+        for alg in ("mpi-only", "private-fock", "shared-fock")
+    }
+    for idx, n in enumerate(nodes):
+        row = f"{n:>6d}"
+        for alg in ("mpi-only", "private-fock", "shared-fock"):
+            p = curves[alg][idx]
+            if p.feasible:
+                row += f"{format_seconds(p.seconds):>16s}{100 * p.efficiency:>5.0f}%"
+            else:
+                row += f"{'(mem)':>16s}{'':>6s}"
+        print(row)
+
+    last = nodes[-1]
+    mpi = curves["mpi-only"][-1].seconds
+    shf = curves["shared-fock"][-1].seconds
+    print(f"\nAt {last} nodes the shared-Fock code is {mpi / shf:.1f}x "
+          f"faster than the stock MPI-only code.")
+
+
+if __name__ == "__main__":
+    main()

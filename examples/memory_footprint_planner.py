@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Memory planner: will your HF job fit on a KNL node?
+
+Applies the paper's footprint model (eqs. 3a-3c plus the detailed
+structure inventory) to any problem size and node geometry, and reports
+what each of the three code versions needs per node, the maximum
+feasible MPI-only rank count, and the footprint-reduction factors.
+
+Usage:  python examples/memory_footprint_planner.py [nbf] [threads]
+        python examples/memory_footprint_planner.py 5340 64
+"""
+
+import sys
+
+from repro.constants import GB
+from repro.core.memory_model import AlgorithmKind, MemoryModel, NodeConfig
+from repro.machine.knl import XEON_PHI_7230
+
+
+def main() -> None:
+    nbf = int(sys.argv[1]) if len(sys.argv) > 1 else 5340
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    node = XEON_PHI_7230
+
+    print(f"Problem size: {nbf} basis functions "
+          f"({nbf * nbf * 8 / 1e6:.0f} MB per square matrix)")
+    print(f"Node: {node.model} ({node.ddr_gb:.0f} GB DDR4 + "
+          f"{node.mcdram_gb:.0f} GB MCDRAM)\n")
+
+    mm_legacy = MemoryModel(nbf, legacy_ddi=True)
+    mm = MemoryModel(nbf)
+
+    configs = [
+        ("MPI-only, 256 ranks (legacy DDI)", mm_legacy,
+         AlgorithmKind.MPI_ONLY, NodeConfig(256, 1)),
+        ("MPI-only, 64 ranks (legacy DDI)", mm_legacy,
+         AlgorithmKind.MPI_ONLY, NodeConfig(64, 1)),
+        (f"private Fock, 4 ranks x {threads} threads", mm,
+         AlgorithmKind.PRIVATE_FOCK, NodeConfig(4, threads)),
+        (f"shared Fock, 4 ranks x {threads} threads", mm,
+         AlgorithmKind.SHARED_FOCK, NodeConfig(4, threads)),
+    ]
+    print(f"{'configuration':<42s}{'GB/node':>10s}{'fits DDR':>10s}")
+    print("-" * 62)
+    for label, model, kind, cfg in configs:
+        gb = model.per_node_gb(kind, cfg)
+        fits = "yes" if gb <= node.ddr_gb else "NO"
+        print(f"{label:<42s}{gb:>10.1f}{fits:>10s}")
+
+    print("\nDetailed inventory (shared Fock, per rank):")
+    for s in mm.inventory(AlgorithmKind.SHARED_FOCK):
+        scope = {"rank": "per rank", "thread": "per thread"}.get(s.scope, s.scope)
+        print(f"  {s.name:<28s}{s.words * 8 / 1e6:>12.1f} MB  ({scope})")
+
+    max_ranks = mm_legacy.max_ranks_per_node(
+        AlgorithmKind.MPI_ONLY, node.ddr_gb * GB
+    )
+    print(f"\nMax memory-feasible MPI-only ranks/node "
+          f"(matrices only): {max_ranks}")
+
+    hybrid = NodeConfig(4, threads)
+    stock = NodeConfig(256, 1)
+    print("Footprint reduction vs 256-rank stock code:")
+    for kind, name in (
+        (AlgorithmKind.PRIVATE_FOCK, "private Fock"),
+        (AlgorithmKind.SHARED_FOCK, "shared Fock"),
+    ):
+        red = mm_legacy.footprint_reduction(kind, hybrid, stock)
+        print(f"  {name:<14s} {red:6.0f}x")
+
+
+if __name__ == "__main__":
+    main()

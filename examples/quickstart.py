@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: restricted Hartree-Fock with the repro library.
+
+Runs RHF on water twice — once with the dense reference Fock build and
+once with the paper's shared-Fock hybrid algorithm on a simulated
+2-rank x 4-thread geometry — and shows they agree to machine precision.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.chem.basis import BasisSet
+from repro.chem.molecule import water
+from repro.core.scf_driver import ParallelSCF
+from repro.scf.rhf import RHF
+
+
+def main() -> None:
+    mol = water()
+    basis = BasisSet(mol, "sto-3g")
+    print(f"System: {mol.name}  ({mol.natoms} atoms, {basis.nbf} basis "
+          f"functions, {basis.nshells} shells, basis {basis.name})")
+
+    # 1. Serial reference RHF (dense ERI tensor + einsum Fock build).
+    ref = RHF(basis).run()
+    print(f"\nReference RHF energy : {ref.energy:.10f} Eh "
+          f"({ref.niterations} iterations, converged={ref.converged})")
+    print("Orbital energies (Eh):",
+          " ".join(f"{e:8.4f}" for e in ref.orbital_energies))
+
+    # 2. The paper's shared-Fock hybrid algorithm, simulated 2 MPI ranks
+    #    x 4 OpenMP threads, with Schwarz screening and race tracking.
+    par = ParallelSCF(
+        basis, "shared-fock", nranks=2, nthreads=4, track_races=True
+    ).run()
+    print(f"\nShared-Fock RHF energy: {par.energy:.10f} Eh "
+          f"(2 ranks x 4 threads)")
+    print(f"Agreement with reference: {abs(par.energy - ref.energy):.2e} Eh")
+
+    stats = par.fock_stats[-1]
+    print(f"\nLast Fock build: {stats.quartets_computed} shell quartets "
+          f"computed, {stats.quartets_screened} screened out")
+    print(f"Shared-memory writes checked: {stats.writes_checked}, "
+          f"races detected: {stats.races}")
+    print(f"FI flushes: {stats.fi_flushes}, FJ flushes: {stats.fj_flushes}")
+
+    # 3. The HF result as a post-HF starting point (the paper's stated
+    #    motivation): MP2 on top of the converged wavefunction.
+    from repro.scf.mp2 import mp2_energy
+
+    mp2 = mp2_energy(basis, ref)
+    print(f"\nMP2 correlation energy: {mp2.correlation_energy:.10f} Eh")
+    print(f"MP2 total energy      : {mp2.total_energy:.10f} Eh")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Why the shared-Fock algorithm needs its buffer structure.
+
+The paper's Algorithm 3 shares one Fock matrix among all threads and
+avoids data races *structurally*: each thread's bra-column updates go
+to private FI/FJ buffers, the direct F(k,l) updates touch disjoint
+blocks, and flushes are row-partitioned.  This demo uses the library's
+write tracker to (1) verify the shared-Fock build is conflict-free and
+(2) show that naively threading the stock algorithm over a shared Fock
+matrix races immediately — the motivation for the whole design.
+
+Usage:  python examples/race_detection_demo.py
+"""
+
+import numpy as np
+
+from repro.chem.basis import BasisSet
+from repro.chem.molecule import water
+from repro.core.fock_shared import SharedFockBuilder
+from repro.core.indexing import unique_quartets
+from repro.core.quartets import QuartetEngine
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+from repro.parallel.shared_array import WriteTracker
+
+
+def main() -> None:
+    basis = BasisSet(water(), "sto-3g")
+    h = kinetic_matrix(basis) + nuclear_matrix(basis)
+    rng = np.random.default_rng(0)
+    d = rng.standard_normal((basis.nbf, basis.nbf))
+    d = d + d.T
+
+    print("1) Shared-Fock algorithm (paper Algorithm 3), 4 threads,")
+    print("   with every shared-memory write instrumented:\n")
+    builder = SharedFockBuilder(
+        basis, h, nranks=1, nthreads=4, track_races=True
+    )
+    _, stats = builder(d)
+    print(f"   quartets computed : {stats.quartets_computed}")
+    print(f"   writes checked    : {stats.writes_checked}")
+    print(f"   races detected    : {stats.races}   <- race-free by design")
+
+    print("\n2) Counter-example: naive threading of the stock algorithm")
+    print("   (two threads share one Fock matrix, no buffers):\n")
+    eng = QuartetEngine(basis)
+    n = basis.nbf
+    tracker = WriteTracker(n * n)
+    W = np.zeros((n, n))
+    for t_idx, (i, j, k, l) in enumerate(unique_quartets(basis.nshells)):
+        thread = t_idx % 2
+        X = eng.composite_block(i, j, k, l)
+        for (rows, cols), val in eng.scatter_contributions(
+            X, d, i, j, k, l
+        ).values():
+            W[rows, cols] += val
+            r = np.arange(rows.start, rows.stop)
+            c = np.arange(cols.start, cols.stop)
+            tracker.record(thread, (r[:, None] * n + c[None, :]).ravel())
+
+    print(f"   writes checked    : {tracker.writes_checked}")
+    print(f"   races detected    : {len(tracker.races)}")
+    first = tracker.races[0]
+    print(f"   first conflict    : Fock element "
+          f"({first.element // n},{first.element % n}) written by threads "
+          f"{first.threads[0]} and {first.threads[1]} in the same phase")
+    print("\n   -> this is why Algorithm 2 replicates the Fock matrix per")
+    print("      thread, and why Algorithm 3 needs the FI/FJ buffers and")
+    print("      kl-partitioned direct updates to share it safely.")
+
+
+if __name__ == "__main__":
+    main()

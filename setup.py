@@ -1,0 +1,13 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work on
+environments whose setuptools lacks the wheel/bdist_wheel machinery."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

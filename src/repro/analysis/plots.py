@@ -1,0 +1,104 @@
+"""Terminal (ASCII) plotting for scaling curves and sweeps.
+
+The paper's figures are log-log scaling plots; these helpers render the
+same curves as monospace charts so the benchmark harness, the examples
+and the CLI can show *shapes*, not just tables, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_ticks(lo: float, hi: float, n: int) -> list[float]:
+    la, lb = math.log10(lo), math.log10(hi)
+    return [10 ** (la + (lb - la) * i / (n - 1)) for i in range(n)]
+
+
+def ascii_loglog(
+    series: Sequence,
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "seconds",
+) -> str:
+    """Render Series objects (x, seconds) as a log-log ASCII chart.
+
+    Infeasible points (``feasible[i] == False``) are skipped.
+    """
+    pts_per_series: list[list[tuple[float, float]]] = []
+    for s in series:
+        pts = [
+            (float(x), float(y))
+            for i, (x, y) in enumerate(zip(s.x, s.seconds))
+            if (not s.feasible or s.feasible[i]) and y > 0 and math.isfinite(y)
+        ]
+        pts_per_series.append(pts)
+
+    all_pts = [p for pts in pts_per_series for p in pts]
+    if not all_pts:
+        return title + "\n(no data)"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x0 == x1:
+        x1 = x0 * 10
+    if y0 == y1:
+        y1 = y0 * 10
+
+    def col(x: float) -> int:
+        return round(
+            (math.log10(x) - math.log10(x0))
+            / (math.log10(x1) - math.log10(x0))
+            * (width - 1)
+        )
+
+    def row(y: float) -> int:
+        return (height - 1) - round(
+            (math.log10(y) - math.log10(y0))
+            / (math.log10(y1) - math.log10(y0))
+            * (height - 1)
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, pts in enumerate(pts_per_series):
+        mark = _MARKERS[s_idx % len(_MARKERS)]
+        for (x, y) in pts:
+            r, c = row(y), col(x)
+            grid[r][c] = mark if grid[r][c] == " " else "@"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_ticks = {0: y1, height - 1: y0, (height - 1) // 2: math.sqrt(y0 * y1)}
+    for r in range(height):
+        label = (
+            f"{y_ticks[r]:>9.3g} |" if r in y_ticks else f"{'':>9s} |"
+        )
+        lines.append(label + "".join(grid[r]))
+    lines.append(f"{'':>9s} +" + "-" * width)
+    xt = _log_ticks(x0, x1, 4)
+    tick_line = f"{'':>10s}"
+    pos = 0
+    for t in xt:
+        c = col(t)
+        if c > pos:
+            tick_line += " " * (c - pos)
+            pos = c
+        label = f"{t:.3g}"
+        tick_line += label
+        pos += len(label)
+    lines.append(tick_line)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(f"{'':>10s}{xlabel}    [{ylabel}]   {legend}")
+    return "\n".join(lines)

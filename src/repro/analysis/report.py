@@ -1,0 +1,52 @@
+"""Formatting helpers shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def format_seconds(t: float) -> str:
+    """Human-friendly seconds (``inf`` renders as ``--``)."""
+    if not math.isfinite(t):
+        return "--"
+    if t >= 1000:
+        return f"{t:7.0f}"
+    if t >= 10:
+        return f"{t:7.1f}"
+    return f"{t:7.2f}"
+
+
+def render_series(series: Iterable, title: str = "") -> str:
+    """Render :class:`~repro.analysis.figures.Series` objects as a table."""
+    series = list(series)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        return "\n".join(lines)
+    xs = series[0].x
+    header = "x".rjust(8) + "".join(f"{s.label:>16s}" for s in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{str(x):>8s}"
+        for s in series:
+            ok = s.feasible[i] if s.feasible else True
+            row += (
+                f"{format_seconds(s.seconds[i]):>16s}"
+                if ok
+                else f"{'(mem)':>16s}"
+            )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def shape_check(
+    name: str, expected_winner: str, times: dict[str, float]
+) -> str:
+    """One-line who-wins statement for EXPERIMENTS.md-style reporting."""
+    winner = min(times, key=times.get)  # type: ignore[arg-type]
+    ok = "OK" if winner == expected_winner else "MISMATCH"
+    ratio = max(times.values()) / min(times.values()) if times else 0.0
+    return f"{name}: winner={winner} (expected {expected_winner}) spread={ratio:.1f}x [{ok}]"

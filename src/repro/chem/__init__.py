@@ -1,0 +1,33 @@
+"""Chemical-system substrate: elements, molecules, basis sets, datasets.
+
+This subpackage provides everything the Hartree-Fock engine consumes:
+
+* :mod:`repro.chem.elements` -- periodic-table data.
+* :mod:`repro.chem.molecule` -- the :class:`~repro.chem.molecule.Molecule`
+  container (geometry in Bohr, nuclear repulsion, XYZ I/O).
+* :mod:`repro.chem.basis` -- Gaussian basis sets with GAMESS-style
+  composite L (SP) shells, as used by the paper's shell counting.
+* :mod:`repro.chem.graphene` -- the bilayer-graphene benchmark datasets
+  of the paper (Figure 2 / Table 4).
+"""
+
+from repro.chem.elements import Element, element_by_symbol, element_by_z
+from repro.chem.molecule import Atom, Molecule
+from repro.chem.graphene import (
+    GrapheneSpec,
+    PAPER_DATASETS,
+    bilayer_graphene,
+    paper_dataset,
+)
+
+__all__ = [
+    "Element",
+    "element_by_symbol",
+    "element_by_z",
+    "Atom",
+    "Molecule",
+    "GrapheneSpec",
+    "PAPER_DATASETS",
+    "bilayer_graphene",
+    "paper_dataset",
+]

@@ -1,0 +1,37 @@
+"""Gaussian basis sets with GAMESS-style composite shells.
+
+The paper counts *composite* shells: an SP ("L") shell — an s and a p
+contraction sharing the same primitive exponents — counts as one shell.
+That convention matters because the parallel algorithms distribute work
+over shell indices; with 6-31G(d) each carbon atom has exactly 4 shells
+(S, L, L, D) and 15 Cartesian basis functions, reproducing the paper's
+Table 4 sizes.
+
+Two layers are exposed:
+
+* :class:`~repro.chem.basis.shell.Shell` — a pure-angular-momentum
+  contracted shell; the unit of integral evaluation.
+* :class:`~repro.chem.basis.shell.CompositeShell` — a GAMESS shell
+  (possibly fused SP); the unit of work distribution and screening.
+* :class:`~repro.chem.basis.basisset.BasisSet` — molecule x basis-name,
+  provides both views plus basis-function indexing.
+"""
+
+from repro.chem.basis.shell import (
+    CART_COMPONENTS,
+    CompositeShell,
+    Shell,
+    ncart,
+)
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.data import available_basis_sets, basis_definition
+
+__all__ = [
+    "Shell",
+    "CompositeShell",
+    "BasisSet",
+    "CART_COMPONENTS",
+    "ncart",
+    "available_basis_sets",
+    "basis_definition",
+]

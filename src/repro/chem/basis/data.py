@@ -1,0 +1,197 @@
+"""Built-in Gaussian basis-set data (EMSL Basis Set Exchange values).
+
+Three Pople family basis sets are provided for H, C, N, O — enough for
+the paper's graphene datasets (carbon only, 6-31G(d)) plus the small
+molecules used in tests and examples:
+
+* ``sto-3g``
+* ``6-31g``
+* ``6-31g(d)`` (alias ``6-31g*``): 6-31G plus one Cartesian d shell on
+  heavy atoms (exponent 0.8), the basis used throughout the paper.
+
+Shell entries are ``(type, primitives)`` where ``type`` is ``"S"``,
+``"L"`` (fused SP) or ``"D"`` and each primitive row is
+``(exponent, coef)`` for pure shells or ``(exponent, s_coef, p_coef)``
+for L shells.  Raw (unnormalized) coefficients are stored; shell
+construction normalizes them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+ShellEntry = tuple[str, tuple[tuple[float, ...], ...]]
+ElementBasis = tuple[ShellEntry, ...]
+
+_STO3G_S_COEFS = (0.1543289673, 0.5353281423, 0.4446345422)
+_STO3G_SP_S = (-0.09996722919, 0.3995128261, 0.7001154689)
+_STO3G_SP_P = (0.1559162750, 0.6076837186, 0.3919573931)
+
+
+def _sto3g_s(e1: float, e2: float, e3: float) -> ShellEntry:
+    return ("S", tuple(zip((e1, e2, e3), _STO3G_S_COEFS)))
+
+
+def _sto3g_l(e1: float, e2: float, e3: float) -> ShellEntry:
+    return ("L", tuple(zip((e1, e2, e3), _STO3G_SP_S, _STO3G_SP_P)))
+
+
+_STO3G: dict[str, ElementBasis] = {
+    "H": (_sto3g_s(3.425250914, 0.6239137298, 0.1688554040),),
+    "C": (
+        _sto3g_s(71.61683735, 13.04509632, 3.530512160),
+        _sto3g_l(2.941249355, 0.6834830964, 0.2222899159),
+    ),
+    "N": (
+        _sto3g_s(99.10616896, 18.05231239, 4.885660238),
+        _sto3g_l(3.780455879, 0.8784966449, 0.2857143744),
+    ),
+    "O": (
+        _sto3g_s(130.7093214, 23.80886605, 6.443608313),
+        _sto3g_l(5.033151319, 1.169596125, 0.3803889600),
+    ),
+}
+
+
+_631G: dict[str, ElementBasis] = {
+    "H": (
+        (
+            "S",
+            (
+                (18.73113696, 0.03349460434),
+                (2.825394365, 0.2347269535),
+                (0.6401216923, 0.8137573261),
+            ),
+        ),
+        ("S", ((0.1612777588, 1.0),)),
+    ),
+    "C": (
+        (
+            "S",
+            (
+                (3047.524880, 0.001834737132),
+                (457.3695180, 0.01403732281),
+                (103.9486850, 0.06884262226),
+                (29.21015530, 0.2321844432),
+                (9.286662960, 0.4679413484),
+                (3.163926960, 0.3623119853),
+            ),
+        ),
+        (
+            "L",
+            (
+                (7.868272350, -0.1193324198, 0.06899906659),
+                (1.881288540, -0.1608541517, 0.3164239610),
+                (0.5442492580, 1.143456438, 0.7443082909),
+            ),
+        ),
+        ("L", ((0.1687144782, 1.0, 1.0),)),
+    ),
+    "N": (
+        (
+            "S",
+            (
+                (4173.511460, 0.001834772160),
+                (627.4579110, 0.01399462700),
+                (142.9020930, 0.06858655181),
+                (40.23432930, 0.2322408730),
+                (13.03269600, 0.4690699481),
+                (4.603370450, 0.3604551991),
+            ),
+        ),
+        (
+            "L",
+            (
+                (11.62636186, -0.1149611817, 0.06757974388),
+                (2.716279807, -0.1691174786, 0.3239072959),
+                (0.7722183966, 1.145851947, 0.7408951398),
+            ),
+        ),
+        ("L", ((0.2120314975, 1.0, 1.0),)),
+    ),
+    "O": (
+        (
+            "S",
+            (
+                (5484.671660, 0.001831074430),
+                (825.2349460, 0.01395017220),
+                (188.0469580, 0.06844507810),
+                (52.96450000, 0.2327143360),
+                (16.89757040, 0.4701928980),
+                (5.799635340, 0.3585208530),
+            ),
+        ),
+        (
+            "L",
+            (
+                (15.53961625, -0.1107775495, 0.07087426823),
+                (3.599933586, -0.1480262627, 0.3397528391),
+                (1.013761750, 1.130767015, 0.7271585773),
+            ),
+        ),
+        ("L", ((0.2700058226, 1.0, 1.0),)),
+    ),
+}
+
+
+def _with_d(base: ElementBasis, d_exp: float) -> ElementBasis:
+    """Append one uncontracted Cartesian d shell to an element basis."""
+    return base + (("D", ((d_exp, 1.0),)),)
+
+
+_631GD: dict[str, ElementBasis] = {
+    # 6-31G(d) adds d polarization to heavy atoms only; H is plain 6-31G.
+    "H": _631G["H"],
+    "C": _with_d(_631G["C"], 0.8),
+    "N": _with_d(_631G["N"], 0.8),
+    "O": _with_d(_631G["O"], 0.8),
+}
+
+
+_BASIS_LIBRARY: dict[str, dict[str, ElementBasis]] = {
+    "sto-3g": _STO3G,
+    "6-31g": _631G,
+    "6-31g(d)": _631GD,
+}
+
+_ALIASES: dict[str, str] = {
+    "sto3g": "sto-3g",
+    "631g": "6-31g",
+    "6-31g*": "6-31g(d)",
+    "631g*": "6-31g(d)",
+    "631gd": "6-31g(d)",
+    "6-31gd": "6-31g(d)",
+}
+
+
+def _canonical(name: str) -> str:
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BASIS_LIBRARY:
+        raise KeyError(
+            f"unknown basis set {name!r}; available: {sorted(_BASIS_LIBRARY)}"
+        )
+    return key
+
+
+def available_basis_sets() -> tuple[str, ...]:
+    """Names of the built-in basis sets."""
+    return tuple(sorted(_BASIS_LIBRARY))
+
+
+def basis_definition(basis_name: str, element_symbol: str) -> ElementBasis:
+    """Raw shell entries for one element in one basis set.
+
+    Raises
+    ------
+    KeyError
+        If the basis set is unknown or lacks data for the element.
+    """
+    lib = _BASIS_LIBRARY[_canonical(basis_name)]
+    sym = element_symbol.strip().capitalize()
+    try:
+        return lib[sym]
+    except KeyError:
+        raise KeyError(
+            f"basis {basis_name!r} has no data for element {element_symbol!r}"
+        ) from None

@@ -1,0 +1,122 @@
+"""Parser for GAMESS-US formatted basis-set text.
+
+Lets users bring their own basis sets in the format the Basis Set
+Exchange exports for GAMESS:
+
+.. code-block:: text
+
+    HYDROGEN
+    S   3
+      1     3.42525091         0.15432897
+      2     0.62391373         0.53532814
+      3     0.16885540         0.44463454
+
+    CARBON
+    S   6
+      ...
+    L   3
+      1     2.94124940        -0.09996723   0.15591627
+      ...
+
+Shell type letters: ``S P D F`` plus the composite ``L`` (SP) shell
+with two coefficient columns.  Parsed data plugs into the same shell
+construction path as the built-in sets.
+"""
+
+from __future__ import annotations
+
+from repro.chem.basis.data import ElementBasis, ShellEntry
+
+_ELEMENT_NAMES = {
+    "HYDROGEN": "H", "HELIUM": "He", "LITHIUM": "Li", "BERYLLIUM": "Be",
+    "BORON": "B", "CARBON": "C", "NITROGEN": "N", "OXYGEN": "O",
+    "FLUORINE": "F", "NEON": "Ne", "SODIUM": "Na", "MAGNESIUM": "Mg",
+    "ALUMINUM": "Al", "ALUMINIUM": "Al", "SILICON": "Si",
+    "PHOSPHORUS": "P", "SULFUR": "S", "CHLORINE": "Cl", "ARGON": "Ar",
+}
+
+_SHELL_LETTERS = {"S", "P", "D", "F", "L"}
+
+
+class BasisParseError(ValueError):
+    """Malformed GAMESS basis text."""
+
+
+def _element_symbol(token: str) -> str:
+    key = token.strip().upper()
+    if key in _ELEMENT_NAMES:
+        return _ELEMENT_NAMES[key]
+    if key.capitalize() in _ELEMENT_NAMES.values():
+        return key.capitalize()
+    raise BasisParseError(f"unknown element header: {token!r}")
+
+
+def parse_gamess_basis(text: str) -> dict[str, ElementBasis]:
+    """Parse GAMESS-US basis text into per-element shell entries.
+
+    Returns
+    -------
+    dict
+        Element symbol -> tuple of ``(shell_type, primitive_rows)``
+        entries, the same structure :mod:`repro.chem.basis.data` uses.
+    """
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.strip().startswith(("!", "$"))
+    ]
+    out: dict[str, ElementBasis] = {}
+    pos = 0
+    while pos < len(lines):
+        symbol = _element_symbol(lines[pos])
+        pos += 1
+        shells: list[ShellEntry] = []
+        while pos < len(lines):
+            parts = lines[pos].split()
+            head = parts[0].upper()
+            if head not in _SHELL_LETTERS or len(parts) != 2:
+                break  # next element header
+            stype = head
+            try:
+                nprim = int(parts[1])
+            except ValueError as exc:
+                raise BasisParseError(
+                    f"bad primitive count on line: {lines[pos]!r}"
+                ) from exc
+            pos += 1
+            rows: list[tuple[float, ...]] = []
+            want = 4 if stype == "L" else 3
+            for _ in range(nprim):
+                if pos >= len(lines):
+                    raise BasisParseError(
+                        f"unexpected end of input inside a {stype} shell"
+                    )
+                cols = lines[pos].split()
+                if len(cols) != want:
+                    raise BasisParseError(
+                        f"expected {want} columns, got {len(cols)}: "
+                        f"{lines[pos]!r}"
+                    )
+                values = [float(c) for c in cols[1:]]
+                rows.append(tuple(values))
+                pos += 1
+            shells.append((stype, tuple(rows)))
+        if not shells:
+            raise BasisParseError(f"element {symbol} has no shells")
+        out[symbol] = tuple(shells)
+    if not out:
+        raise BasisParseError("no basis data found")
+    return out
+
+
+def register_basis(name: str, definitions: dict[str, ElementBasis]) -> None:
+    """Install a parsed basis set under ``name`` for BasisSet to use."""
+    from repro.chem.basis import data as _data
+
+    key = name.strip().lower()
+    _data._BASIS_LIBRARY[key] = dict(definitions)
+
+
+def load_gamess_basis(name: str, text: str) -> None:
+    """Parse GAMESS basis text and register it in one step."""
+    register_basis(name, parse_gamess_basis(text))

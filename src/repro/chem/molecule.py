@@ -1,0 +1,226 @@
+"""Molecule container: atoms, geometry, nuclear repulsion, XYZ I/O.
+
+Geometries are stored internally in Bohr.  Constructors accept either
+unit; the benchmark dataset builders in :mod:`repro.chem.graphene`
+produce Angstrom geometries and convert here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.constants import ANGSTROM_TO_BOHR, BOHR_TO_ANGSTROM
+from repro.chem.elements import Element, element_by_symbol, element_by_z
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom: element plus Cartesian position in Bohr."""
+
+    element: Element
+    xyz: tuple[float, float, float]
+
+    @property
+    def z(self) -> int:
+        """Nuclear charge."""
+        return self.element.z
+
+    @property
+    def symbol(self) -> str:
+        """Element symbol."""
+        return self.element.symbol
+
+
+class Molecule:
+    """An immutable molecular geometry.
+
+    Parameters
+    ----------
+    symbols:
+        Element symbols (or atomic numbers) for each atom.
+    coords:
+        ``(natoms, 3)`` Cartesian coordinates.
+    units:
+        ``"bohr"`` (default) or ``"angstrom"``; coordinates are converted
+        to Bohr on construction.
+    charge:
+        Total molecular charge; together with the nuclear charges this
+        determines the electron count.
+    name:
+        Optional human-readable label (used in reports).
+    """
+
+    def __init__(
+        self,
+        symbols: Sequence[str | int],
+        coords: Iterable[Sequence[float]],
+        *,
+        units: str = "bohr",
+        charge: int = 0,
+        name: str = "",
+    ) -> None:
+        xyz = np.asarray(list(coords), dtype=np.float64)
+        if xyz.ndim != 2 or xyz.shape[1] != 3:
+            raise ValueError(f"coords must be (natoms, 3); got {xyz.shape}")
+        if len(symbols) != xyz.shape[0]:
+            raise ValueError(
+                f"{len(symbols)} symbols but {xyz.shape[0]} coordinate rows"
+            )
+        units = units.lower()
+        if units in ("angstrom", "ang", "a"):
+            xyz = xyz * ANGSTROM_TO_BOHR
+        elif units not in ("bohr", "au"):
+            raise ValueError(f"unknown units: {units!r}")
+
+        elements = [
+            element_by_z(s) if isinstance(s, (int, np.integer)) else element_by_symbol(s)
+            for s in symbols
+        ]
+        self._atoms: tuple[Atom, ...] = tuple(
+            Atom(e, (float(x), float(y), float(z))) for e, (x, y, z) in zip(elements, xyz)
+        )
+        self._coords = xyz
+        self._coords.setflags(write=False)
+        self.charge = int(charge)
+        self.name = name or "molecule"
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def natoms(self) -> int:
+        """Number of atoms."""
+        return len(self._atoms)
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """Tuple of :class:`Atom` records."""
+        return self._atoms
+
+    @property
+    def coords(self) -> np.ndarray:
+        """Read-only ``(natoms, 3)`` array of positions in Bohr."""
+        return self._coords
+
+    @property
+    def charges(self) -> np.ndarray:
+        """Nuclear charges as a float array."""
+        return np.array([a.z for a in self._atoms], dtype=np.float64)
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        """Element symbols in atom order."""
+        return tuple(a.symbol for a in self._atoms)
+
+    @property
+    def nelectrons(self) -> int:
+        """Total electron count (nuclear charges minus molecular charge)."""
+        return int(sum(a.z for a in self._atoms) - self.charge)
+
+    def __len__(self) -> int:
+        return self.natoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __repr__(self) -> str:
+        return f"Molecule({self.name!r}, natoms={self.natoms}, charge={self.charge})"
+
+    # -- derived quantities ----------------------------------------------
+
+    def nuclear_repulsion(self) -> float:
+        """Coulomb repulsion energy of the nuclei in Hartree.
+
+        Vectorized over atom pairs; O(natoms^2) memory which is fine for
+        every dataset in this package (the largest has 2,016 atoms).
+        """
+        z = self.charges
+        r = self._coords
+        diff = r[:, None, :] - r[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        zz = np.outer(z, z)
+        iu = np.triu_indices(self.natoms, k=1)
+        return float(np.sum(zz[iu] / dist[iu]))
+
+    def distance_matrix(self) -> np.ndarray:
+        """Pairwise atom distances in Bohr, shape ``(natoms, natoms)``."""
+        r = self._coords
+        diff = r[:, None, :] - r[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+    def center_of_mass(self) -> np.ndarray:
+        """Center of mass in Bohr."""
+        m = np.array([a.element.mass for a in self._atoms])
+        return m @ self._coords / m.sum()
+
+    # -- I/O ---------------------------------------------------------------
+
+    def to_xyz(self, comment: str = "") -> str:
+        """Serialize to XYZ file format (Angstrom)."""
+        lines = [str(self.natoms), comment or self.name]
+        for a in self._atoms:
+            x, y, z = (c * BOHR_TO_ANGSTROM for c in a.xyz)
+            lines.append(f"{a.symbol:<2s} {x:18.10f} {y:18.10f} {z:18.10f}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_xyz(cls, text: str, *, charge: int = 0, name: str = "") -> "Molecule":
+        """Parse an XYZ-format string (Angstrom coordinates)."""
+        lines = [ln for ln in text.strip().splitlines()]
+        if len(lines) < 2:
+            raise ValueError("XYZ input too short")
+        natoms = int(lines[0].split()[0])
+        body = lines[2 : 2 + natoms]
+        if len(body) != natoms:
+            raise ValueError(
+                f"XYZ header declares {natoms} atoms but {len(body)} rows found"
+            )
+        symbols: list[str] = []
+        coords: list[list[float]] = []
+        for ln in body:
+            parts = ln.split()
+            symbols.append(parts[0])
+            coords.append([float(parts[1]), float(parts[2]), float(parts[3])])
+        return cls(symbols, coords, units="angstrom", charge=charge,
+                   name=name or (lines[1].strip() or "molecule"))
+
+
+# -- stock geometries used in tests and examples --------------------------
+
+
+def water(name: str = "water") -> Molecule:
+    """Gas-phase water at the standard Crawford-project geometry (Bohr)."""
+    return Molecule(
+        ["O", "H", "H"],
+        [
+            (0.000000000000, -0.143225816552, 0.000000000000),
+            (1.638036840407, 1.136548822547, 0.000000000000),
+            (-1.638036840407, 1.136548822547, 0.000000000000),
+        ],
+        units="bohr",
+        name=name,
+    )
+
+
+def hydrogen_molecule(r_bohr: float = 1.4) -> Molecule:
+    """H2 at a given bond length in Bohr (default 1.4, near equilibrium)."""
+    return Molecule(["H", "H"], [(0.0, 0.0, 0.0), (0.0, 0.0, r_bohr)], name="H2")
+
+
+def methane() -> Molecule:
+    """Methane with tetrahedral geometry, C-H = 1.089 Angstrom."""
+    d = 1.089 / np.sqrt(3.0)
+    return Molecule(
+        ["C", "H", "H", "H", "H"],
+        [
+            (0.0, 0.0, 0.0),
+            (d, d, d),
+            (d, -d, -d),
+            (-d, d, -d),
+            (-d, -d, d),
+        ],
+        units="angstrom",
+        name="methane",
+    )

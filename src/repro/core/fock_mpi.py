@@ -1,0 +1,73 @@
+"""Algorithm 1 — the stock GAMESS MPI-only Fock build.
+
+Every rank replicates the density and Fock matrices.  The DDI dynamic
+load balancer hands out combined ``(i, j)`` shell-pair indices; for each
+granted bra pair the rank runs the full ``(k, l)`` inner loops with
+per-quartet Schwarz screening and accumulates into its private Fock
+replica, which is summed over ranks at the end (``ddi_gsumf``).
+
+The characteristic weaknesses the paper identifies are visible directly
+in the returned statistics: the iteration space is only
+``nshells * (nshells + 1) / 2`` tasks of widely varying cost (load
+imbalance at scale), and the per-rank memory is the full set of
+replicated matrices (see :mod:`repro.core.memory_model`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
+from repro.core.indexing import decode_pair, lmax_for, npairs
+from repro.parallel.comm import SimComm, SimWorld
+from repro.parallel.dlb import DynamicLoadBalancer
+
+
+class MPIOnlyFockBuilder(ParallelFockBuilderBase):
+    """The paper's Algorithm 1 (``nthreads`` is fixed at 1 per rank)."""
+
+    algorithm_name = "mpi-only"
+
+    def __init__(self, basis, hcore, **kwargs) -> None:
+        kwargs.setdefault("nthreads", 1)
+        if kwargs["nthreads"] != 1:
+            raise ValueError("the MPI-only algorithm is single-threaded per rank")
+        super().__init__(basis, hcore, **kwargs)
+
+    def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
+        stats = self._new_stats()
+        world = SimWorld(self.nranks)
+        ntasks = npairs(self.nshells)
+        dlb = DynamicLoadBalancer(
+            ntasks, self.nranks, policy=self.dlb_policy,
+            costs=self._dlb_costs(ntasks),
+        )
+        results: list[np.ndarray] = []
+
+        def rank_main(comm: SimComm) -> None:
+            rank = comm.rank
+            W = np.zeros((self.nbf, self.nbf))
+            done = 0
+            # Stock loop: i over shells, j <= i, with the DLB check on
+            # the combined (i, j) index (ddi_dlbnext).
+            for ij in dlb.iter_rank(rank):
+                i, j = decode_pair(ij)
+                for k in range(i + 1):
+                    for l in range(lmax_for(i, j, k) + 1):
+                        if not self.screening.survives(i, j, k, l):
+                            stats.quartets_screened += 1
+                            continue
+                        self.engine.apply_quartet(W, density, i, j, k, l)
+                        done += 1
+            stats.per_rank_quartets.append(done)
+            comm.gsumf(W)
+            results.append(W)
+
+        world.execute(rank_main)
+        stats.quartets_computed = sum(stats.per_rank_quartets)
+        return self._finish(results[0], stats, world, [])
+
+    def _dlb_costs(self, ntasks: int) -> np.ndarray | None:
+        if self.dlb_policy != "cost_greedy":
+            return None
+        return self.screening.pair_survivor_counts()

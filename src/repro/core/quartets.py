@@ -1,0 +1,201 @@
+"""Composite-shell quartet evaluation and the six-way Fock scatter.
+
+:class:`QuartetEngine` is the workhorse shared by all three parallel
+algorithms: it evaluates the ERI block of a composite (GAMESS) shell
+quartet and scatters the six Fock contributions of the paper's
+eqs. (2a)-(2f) into an accumulation matrix ``W``.
+
+Accumulation convention
+-----------------------
+Each of the six element families is written in *one* orientation,
+matching the paper's column-block organization:
+
+======== ====================== =======================
+family   update                 destination (row, col)
+======== ====================== =======================
+(i, j)   ``+2 X' D_kl``         ``(J-block, I-block)`` — the FI buffer
+(i, k)   ``-1/2 X' D_jl``       ``(K-block, I-block)`` — the FI buffer
+(i, l)   ``-1/2 X' D_jk``       ``(L-block, I-block)`` — the FI buffer
+(j, k)   ``-1/2 X' D_il``       ``(K-block, J-block)`` — the FJ buffer
+(j, l)   ``-1/2 X' D_ik``       ``(L-block, J-block)`` — the FJ buffer
+(k, l)   ``+2 X' D_ij``         ``(K-block, L-block)`` — shared direct
+======== ====================== =======================
+
+with ``X' = X * fac`` (:func:`~repro.core.indexing.quartet_degeneracy_factor`).
+The true two-electron matrix is recovered once at the end by
+:func:`symmetrize_two_electron`: ``G = W + W^T``.  This identity holds
+for diagonal families too (the derivation in the module tests), so no
+diagonal correction is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.shell import CompositeShell, Shell
+from repro.core.indexing import quartet_degeneracy_factor
+from repro.integrals.eri import ShellPair, eri_shell_quartet
+
+
+def symmetrize_two_electron(W: np.ndarray) -> np.ndarray:
+    """Recover the symmetric two-electron matrix: ``G = W + W^T``."""
+    return W + W.T
+
+
+class QuartetEngine:
+    """ERI evaluation and Fock scattering over composite shells.
+
+    Parameters
+    ----------
+    basis:
+        The AO basis.  Pure-shell pair data (Hermite E matrices) is
+        built lazily and cached per pair, so only pairs that survive
+        screening are ever prepared.
+    """
+
+    def __init__(self, basis: BasisSet) -> None:
+        self.basis = basis
+        self.composites = basis.composite_shells
+        self._pure_pairs: dict[tuple[int, int], ShellPair] = {}
+        # Map pure shells to stable ids for pair caching.
+        self._pure_index = {id(s): n for n, s in enumerate(basis.shells)}
+        self.quartets_computed = 0
+
+    # -- ERI blocks -----------------------------------------------------
+
+    def _pure_pair(self, sa: Shell, sb: Shell) -> ShellPair:
+        key = (self._pure_index[id(sa)], self._pure_index[id(sb)])
+        pair = self._pure_pairs.get(key)
+        if pair is None:
+            pair = ShellPair(sa, sb)
+            self._pure_pairs[key] = pair
+        return pair
+
+    def composite_block(self, I: int, J: int, K: int, L: int) -> np.ndarray:
+        """ERI block over composite shells ``(I J | K L)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(nfI, nfJ, nfK, nfL)``, assembled from the pure
+            sub-shell quartets (an L shell contributes its S and P
+            sub-blocks at the proper offsets).
+        """
+        cI, cJ, cK, cL = (self.composites[x] for x in (I, J, K, L))
+        out = np.zeros((cI.nfunc, cJ.nfunc, cK.nfunc, cL.nfunc))
+        oi = 0
+        for sa in cI.subshells:
+            oj = 0
+            for sb in cJ.subshells:
+                bra = self._pure_pair(sa, sb)
+                ok = 0
+                for sc in cK.subshells:
+                    ol = 0
+                    for sd in cL.subshells:
+                        ket = self._pure_pair(sc, sd)
+                        out[
+                            oi : oi + sa.nfunc,
+                            oj : oj + sb.nfunc,
+                            ok : ok + sc.nfunc,
+                            ol : ol + sd.nfunc,
+                        ] = eri_shell_quartet(bra, ket)
+                        ol += sd.nfunc
+                    ok += sc.nfunc
+                ol = 0
+                oj += sb.nfunc
+            oi += sa.nfunc
+        self.quartets_computed += 1
+        return out
+
+    # -- Fock scattering ---------------------------------------------------
+
+    def block_slices(
+        self, I: int, J: int, K: int, L: int
+    ) -> tuple[slice, slice, slice, slice]:
+        """Basis-function slices of the four composite blocks."""
+        out = []
+        for x in (I, J, K, L):
+            cs = self.composites[x]
+            out.append(slice(cs.bf_offset, cs.bf_offset + cs.nfunc))
+        return tuple(out)
+
+    def scatter_general(
+        self,
+        X: np.ndarray,
+        d_coulomb: np.ndarray,
+        d_exchange: np.ndarray,
+        jw: float,
+        kw: float,
+        I: int,
+        J: int,
+        K: int,
+        L: int,
+    ) -> dict[str, tuple[tuple[slice, slice], np.ndarray]]:
+        """Six-way scatter with independent Coulomb/exchange channels.
+
+        The Coulomb families (``(i,j)`` and ``(k,l)``) contract the
+        quartet against ``d_coulomb`` with weight ``jw``; the four
+        exchange families contract against ``d_exchange`` with weight
+        ``kw``.  Closed-shell RHF uses ``(D, D, +2, -1/2)``; spin-
+        unrestricted Fock matrices use ``(D_total, D_sigma, +2, -1)``
+        per spin channel.
+        """
+        si, sj, sk, sl = self.block_slices(I, J, K, L)
+        fac = quartet_degeneracy_factor(I, J, K, L)
+        Xs = X * fac
+
+        dj_kl = d_coulomb[sk, sl]
+        dj_ij = d_coulomb[si, sj]
+        dk_jl = d_exchange[sj, sl]
+        dk_jk = d_exchange[sj, sk]
+        dk_il = d_exchange[si, sl]
+        dk_ik = d_exchange[si, sk]
+
+        return {
+            "ji": ((sj, si), jw * np.einsum("ijkl,kl->ji", Xs, dj_kl)),
+            "ki": ((sk, si), kw * np.einsum("ijkl,jl->ki", Xs, dk_jl)),
+            "li": ((sl, si), kw * np.einsum("ijkl,jk->li", Xs, dk_jk)),
+            "kj": ((sk, sj), kw * np.einsum("ijkl,il->kj", Xs, dk_il)),
+            "lj": ((sl, sj), kw * np.einsum("ijkl,ik->lj", Xs, dk_ik)),
+            "kl": ((sk, sl), jw * np.einsum("ijkl,ij->kl", Xs, dj_ij)),
+        }
+
+    def scatter_contributions(
+        self,
+        X: np.ndarray,
+        D: np.ndarray,
+        I: int,
+        J: int,
+        K: int,
+        L: int,
+    ) -> dict[str, tuple[tuple[slice, slice], np.ndarray]]:
+        """Compute the six scaled closed-shell Fock contributions.
+
+        Returns a dict keyed by destination family —
+        ``"ji" / "ki" / "li"`` (the FI buffer), ``"kj" / "lj"`` (the FJ
+        buffer), ``"kl"`` (shared direct) — each mapping to
+        ``((row_slice, col_slice), value_block)``.  Callers (the three
+        algorithms) decide *where* each contribution is accumulated;
+        the arithmetic is identical across algorithms by construction.
+        """
+        return self.scatter_general(X, D, D, 2.0, -0.5, I, J, K, L)
+
+    def apply_quartet(
+        self,
+        W: np.ndarray,
+        D: np.ndarray,
+        I: int,
+        J: int,
+        K: int,
+        L: int,
+    ) -> None:
+        """Evaluate one quartet and accumulate all six updates into ``W``.
+
+        This is the single-accumulator path used by Algorithms 1 and 2
+        (replicated/private Fock); Algorithm 3 routes the same
+        contributions through its FI/FJ buffers instead.
+        """
+        X = self.composite_block(I, J, K, L)
+        for (dest, val) in self.scatter_contributions(X, D, I, J, K, L).values():
+            W[dest] += val

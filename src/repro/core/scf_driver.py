@@ -1,0 +1,124 @@
+"""Parallel SCF driver: run RHF with any of the three Fock algorithms.
+
+A thin composition layer: builds the one-electron matrices once,
+constructs the requested parallel Fock builder, and delegates the SCF
+iteration to :class:`repro.scf.rhf.RHF`.  Collects the per-iteration
+Fock-build statistics that the memory/performance analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
+from repro.core.fock_mpi import MPIOnlyFockBuilder
+from repro.core.fock_private import PrivateFockBuilder
+from repro.core.fock_shared import SharedFockBuilder
+from repro.core.screening import Screening
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+from repro.scf.convergence import ConvergenceCriteria
+from repro.scf.rhf import RHF, SCFResult
+
+AlgorithmName = Literal["mpi-only", "private-fock", "shared-fock"]
+
+_BUILDERS: dict[str, type[ParallelFockBuilderBase]] = {
+    "mpi-only": MPIOnlyFockBuilder,
+    "private-fock": PrivateFockBuilder,
+    "shared-fock": SharedFockBuilder,
+}
+
+
+def make_fock_builder(
+    algorithm: AlgorithmName,
+    basis: BasisSet,
+    hcore: np.ndarray,
+    **kwargs,
+) -> ParallelFockBuilderBase:
+    """Instantiate one of the three paper algorithms by name."""
+    try:
+        cls = _BUILDERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    return cls(basis, hcore, **kwargs)
+
+
+@dataclass
+class ParallelSCFResult:
+    """SCF result bundled with the parallel execution statistics."""
+
+    scf: SCFResult
+    fock_stats: list[FockBuildStats]
+
+    @property
+    def energy(self) -> float:
+        """Total RHF energy in Hartree."""
+        return self.scf.energy
+
+    @property
+    def converged(self) -> bool:
+        return self.scf.converged
+
+    @property
+    def total_quartets_computed(self) -> int:
+        """Quartets evaluated across all SCF iterations."""
+        return sum(s.quartets_computed for s in self.fock_stats)
+
+
+class ParallelSCF:
+    """RHF driven by a simulated-parallel Fock construction.
+
+    Parameters
+    ----------
+    basis:
+        The AO basis.
+    algorithm:
+        ``"mpi-only"`` / ``"private-fock"`` / ``"shared-fock"``.
+    nranks, nthreads:
+        Simulated geometry (the MPI-only algorithm requires
+        ``nthreads == 1``).
+    criteria:
+        SCF convergence settings.
+    **builder_kwargs:
+        Forwarded to the Fock builder (``tau``, ``dlb_policy``,
+        ``thread_schedule``, ``track_races``, ...).
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        algorithm: AlgorithmName = "shared-fock",
+        *,
+        nranks: int = 1,
+        nthreads: int = 1,
+        criteria: ConvergenceCriteria | None = None,
+        **builder_kwargs,
+    ) -> None:
+        self.basis = basis
+        self.algorithm = algorithm
+        hcore = kinetic_matrix(basis) + nuclear_matrix(basis)
+        self._fock_stats: list[FockBuildStats] = []
+
+        inner = make_fock_builder(
+            algorithm, basis, hcore,
+            nranks=nranks, nthreads=nthreads, **builder_kwargs,
+        )
+        self.builder = inner
+
+        def recording_builder(D: np.ndarray):
+            F, stats = inner(D)
+            self._fock_stats.append(stats)
+            return F, {"fock": stats}
+
+        self.rhf = RHF(basis, recording_builder, criteria=criteria)
+
+    def run(self, **kwargs) -> ParallelSCFResult:
+        """Run the SCF; returns energy plus per-iteration Fock stats."""
+        self._fock_stats.clear()
+        result = self.rhf.run(**kwargs)
+        return ParallelSCFResult(scf=result, fock_stats=list(self._fock_stats))

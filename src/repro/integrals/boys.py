@@ -1,0 +1,51 @@
+"""The Boys function :math:`F_m(x) = \\int_0^1 t^{2m} e^{-x t^2} dt`.
+
+The fundamental special function of Gaussian molecular integrals.  The
+highest required order is evaluated with Kummer's confluent
+hypergeometric function (``scipy.special.hyp1f1``), and lower orders
+follow from the numerically stable *downward* recursion
+
+.. math:: F_{m}(x) = \\frac{2 x F_{m+1}(x) + e^{-x}}{2m + 1}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import hyp1f1
+
+
+def boys(m_max: int, x: np.ndarray | float) -> np.ndarray:
+    """Evaluate :math:`F_m(x)` for all orders ``0..m_max``.
+
+    Parameters
+    ----------
+    m_max:
+        Highest Boys order required (inclusive).
+    x:
+        Argument(s); scalar or array, must be non-negative.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(m_max + 1,) + np.shape(x)``; row ``m`` holds
+        :math:`F_m` at every argument.
+    """
+    xs = np.asarray(x, dtype=np.float64)
+    if np.any(xs < 0):
+        raise ValueError("Boys function argument must be non-negative")
+    shape = xs.shape
+    xf = xs.ravel()
+
+    out = np.empty((m_max + 1, xf.size), dtype=np.float64)
+    # Top order via 1F1: F_m(x) = 1F1(m + 1/2; m + 3/2; -x) / (2m + 1).
+    out[m_max] = hyp1f1(m_max + 0.5, m_max + 1.5, -xf) / (2.0 * m_max + 1.0)
+    if m_max > 0:
+        ex = np.exp(-xf)
+        for m in range(m_max - 1, -1, -1):
+            out[m] = (2.0 * xf * out[m + 1] + ex) / (2.0 * m + 1.0)
+    return out.reshape((m_max + 1,) + shape)
+
+
+def boys_single(m: int, x: float) -> float:
+    """Scalar convenience wrapper: :math:`F_m(x)` for a single point."""
+    return float(boys(m, np.float64(x))[m])

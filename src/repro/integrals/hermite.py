@@ -1,0 +1,149 @@
+"""Hermite-Gaussian machinery of the McMurchie-Davidson scheme.
+
+Two building blocks:
+
+* :func:`e_coefficients_1d` — the expansion coefficients
+  :math:`E_t^{ij}` that express a product of two 1-D Cartesian
+  Gaussians as a sum of Hermite Gaussians.
+* :func:`hermite_coulomb` — the Hermite Coulomb integral tensor
+  :math:`R^0_{tuv}` built from Boys-function values by the standard
+  three-term recursions.
+
+Both follow Helgaker, Jorgensen & Olsen, *Molecular Electronic-Structure
+Theory*, chapter 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.integrals.boys import boys
+
+
+def e_coefficients_1d(
+    la: int, lb: int, pa: float, pb: float, p: float, mu_xab2: float
+) -> np.ndarray:
+    """1-D Hermite expansion coefficients :math:`E_t^{ij}`.
+
+    Parameters
+    ----------
+    la, lb:
+        Maximum Cartesian exponents on centers A and B for this axis.
+    pa, pb:
+        :math:`P_x - A_x` and :math:`P_x - B_x` (Gaussian product center
+        relative to each origin).
+    p:
+        Total exponent :math:`a + b`.
+    mu_xab2:
+        :math:`\\mu (A_x - B_x)^2` with :math:`\\mu = ab/p` — the 1-D
+        Gaussian-product prefactor exponent.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``E[i, j, t]`` of shape ``(la+1, lb+1, la+lb+1)``; entries with
+        ``t > i + j`` are zero.
+    """
+    E = np.zeros((la + 1, lb + 1, la + lb + 1))
+    E[0, 0, 0] = np.exp(-mu_xab2)
+    one_over_2p = 0.5 / p
+
+    # Build up in i with j = 0.
+    for i in range(1, la + 1):
+        tmax = i
+        for t in range(tmax + 1):
+            val = pa * E[i - 1, 0, t]
+            if t > 0:
+                val += one_over_2p * E[i - 1, 0, t - 1]
+            if t + 1 <= i - 1:
+                val += (t + 1) * E[i - 1, 0, t + 1]
+            E[i, 0, t] = val
+
+    # Then increment j for every i.
+    for j in range(1, lb + 1):
+        for i in range(la + 1):
+            tmax = i + j
+            for t in range(tmax + 1):
+                val = pb * E[i, j - 1, t]
+                if t > 0:
+                    val += one_over_2p * E[i, j - 1, t - 1]
+                if t + 1 <= i + j - 1:
+                    val += (t + 1) * E[i, j - 1, t + 1]
+                E[i, j, t] = val
+    return E
+
+
+def e_coefficients_3d(
+    la: int, lb: int, a: float, b: float, A: np.ndarray, B: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-axis :math:`E_t^{ij}` tensors for a primitive pair.
+
+    Returns ``(Ex, Ey, Ez)`` each shaped ``(la+1, lb+1, la+lb+1)``.
+    The 3-D Gaussian-product prefactor :math:`e^{-\\mu |AB|^2}` is
+    distributed across the three axes (one factor each), so products
+    ``Ex * Ey * Ez`` carry it exactly once.
+    """
+    p = a + b
+    mu = a * b / p
+    P = (a * A + b * B) / p
+    out = []
+    for d in range(3):
+        out.append(
+            e_coefficients_1d(
+                la, lb, P[d] - A[d], P[d] - B[d], p, mu * (A[d] - B[d]) ** 2
+            )
+        )
+    return out[0], out[1], out[2]
+
+
+def hermite_coulomb(lmax: int, p: float, PC: np.ndarray) -> np.ndarray:
+    """Hermite Coulomb tensor :math:`R^0_{tuv}(p, \\mathbf{PC})`.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum total Hermite order ``t + u + v`` required.
+    p:
+        Exponent of the Hermite Gaussian (total or reduced exponent,
+        depending on the integral type).
+    PC:
+        3-vector from the Hermite center to the charge center.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``R[t, u, v]`` of shape ``(lmax+1,)*3``; only entries with
+        ``t + u + v <= lmax`` are populated.
+    """
+    x2 = float(PC @ PC)
+    F = boys(lmax, p * x2)  # F[n]
+
+    # R^n_{000} = (-2p)^n F_n.
+    Rn = np.zeros((lmax + 1, lmax + 1, lmax + 1, lmax + 1))
+    minus_2p = -2.0 * p
+    fac = 1.0
+    for n in range(lmax + 1):
+        Rn[n, 0, 0, 0] = fac * F[n]
+        fac *= minus_2p
+
+    X, Y, Z = float(PC[0]), float(PC[1]), float(PC[2])
+    # Raise t, then u, then v, lowering the auxiliary order n each time.
+    for total in range(1, lmax + 1):
+        for t in range(total + 1):
+            for u in range(total - t + 1):
+                v = total - t - u
+                for n in range(lmax + 1 - total):
+                    if t > 0:
+                        val = X * Rn[n + 1, t - 1, u, v]
+                        if t > 1:
+                            val += (t - 1) * Rn[n + 1, t - 2, u, v]
+                    elif u > 0:
+                        val = Y * Rn[n + 1, t, u - 1, v]
+                        if u > 1:
+                            val += (u - 1) * Rn[n + 1, t, u - 2, v]
+                    else:
+                        val = Z * Rn[n + 1, t, u, v - 1]
+                        if v > 1:
+                            val += (v - 1) * Rn[n + 1, t, u, v - 2]
+                    Rn[n, t, u, v] = val
+    return Rn[0]

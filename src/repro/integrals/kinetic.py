@@ -1,0 +1,69 @@
+"""Kinetic-energy integrals over contracted Cartesian Gaussian shells.
+
+Uses the 1-D decomposition
+
+.. math::
+
+   T = T_x S_y S_z + S_x T_y S_z + S_x S_y T_z,
+
+with the per-axis kinetic factor expressed through overlaps of shifted
+angular momenta:
+
+.. math::
+
+   T^{ij}_x = -2 b^2 s^{i,j+2} + b (2j + 1) s^{ij}
+              - \\tfrac{1}{2} j (j - 1) s^{i,j-2}.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.shell import Shell
+from repro.integrals.hermite import e_coefficients_3d
+
+
+def kinetic_shell_pair(sha: Shell, shb: Shell) -> np.ndarray:
+    """Kinetic-energy block :math:`\\langle a | -\\nabla^2/2 | b \\rangle`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(sha.nfunc, shb.nfunc)``.
+    """
+    A, B = sha.center, shb.center
+    comps_a, comps_b = sha.components, shb.components
+    out = np.zeros((sha.nfunc, shb.nfunc))
+
+    for a, ca in zip(sha.exps, sha.coefs):
+        for b, cb in zip(shb.exps, shb.coefs):
+            p = a + b
+            # E tensors with ket angular momentum raised by 2 so the
+            # s^{i, j+2} terms are available.
+            Es = e_coefficients_3d(sha.l, shb.l + 2, a, b, A, B)
+            pref = ca * cb * (math.pi / p) ** 1.5
+
+            def s1d(E: np.ndarray, i: int, j: int) -> float:
+                if j < 0:
+                    return 0.0
+                return E[i, j, 0]
+
+            def t1d(E: np.ndarray, i: int, j: int) -> float:
+                val = -2.0 * b * b * s1d(E, i, j + 2)
+                val += b * (2 * j + 1) * s1d(E, i, j)
+                if j >= 2:
+                    val -= 0.5 * j * (j - 1) * s1d(E, i, j - 2)
+                return val
+
+            for ia, (ax, ay, az) in enumerate(comps_a):
+                for ib, (bx, by, bz) in enumerate(comps_b):
+                    sx = s1d(Es[0], ax, bx)
+                    sy = s1d(Es[1], ay, by)
+                    sz = s1d(Es[2], az, bz)
+                    tx = t1d(Es[0], ax, bx)
+                    ty = t1d(Es[1], ay, by)
+                    tz = t1d(Es[2], az, bz)
+                    out[ia, ib] += pref * (tx * sy * sz + sx * ty * sz + sx * sy * tz)
+    return out

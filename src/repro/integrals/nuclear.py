@@ -1,0 +1,66 @@
+"""Nuclear-attraction integrals over contracted Cartesian Gaussian shells."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.shell import Shell
+from repro.integrals.hermite import e_coefficients_3d, hermite_coulomb
+
+
+def nuclear_shell_pair(
+    sha: Shell, shb: Shell, charges: np.ndarray, centers: np.ndarray
+) -> np.ndarray:
+    """Nuclear-attraction block :math:`\\langle a | \\sum_C -Z_C/r_C | b \\rangle`.
+
+    Parameters
+    ----------
+    sha, shb:
+        Bra and ket shells.
+    charges:
+        Nuclear charges, shape ``(natoms,)``.
+    centers:
+        Nuclear positions in Bohr, shape ``(natoms, 3)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(sha.nfunc, shb.nfunc)``.
+    """
+    A, B = sha.center, shb.center
+    comps_a, comps_b = sha.components, shb.components
+    lmax = sha.l + shb.l
+    out = np.zeros((sha.nfunc, shb.nfunc))
+
+    for a, ca in zip(sha.exps, sha.coefs):
+        for b, cb in zip(shb.exps, shb.coefs):
+            p = a + b
+            P = (a * A + b * B) / p
+            Ex, Ey, Ez = e_coefficients_3d(sha.l, shb.l, a, b, A, B)
+            pref = ca * cb * 2.0 * math.pi / p
+
+            # Sum the Hermite Coulomb tensors over all nuclei first; the
+            # E-coefficient contraction is charge-independent.
+            Rsum = np.zeros((lmax + 1,) * 3)
+            for Z, C in zip(charges, centers):
+                Rsum -= Z * hermite_coulomb(lmax, p, P - C)
+
+            for ia, (ax, ay, az) in enumerate(comps_a):
+                for ib, (bx, by, bz) in enumerate(comps_b):
+                    acc = 0.0
+                    for t in range(ax + bx + 1):
+                        ext = Ex[ax, bx, t]
+                        if ext == 0.0:
+                            continue
+                        for u in range(ay + by + 1):
+                            eyu = Ey[ay, by, u]
+                            if eyu == 0.0:
+                                continue
+                            for v in range(az + bz + 1):
+                                ezv = Ez[az, bz, v]
+                                if ezv != 0.0:
+                                    acc += ext * eyu * ezv * Rsum[t, u, v]
+                    out[ia, ib] += pref * acc
+    return out

@@ -1,0 +1,55 @@
+"""One-electron matrix drivers: overlap S, kinetic T, nuclear attraction V."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.shell import Shell
+from repro.integrals.kinetic import kinetic_shell_pair
+from repro.integrals.nuclear import nuclear_shell_pair
+from repro.integrals.overlap import overlap_shell_pair
+
+
+def _assemble_symmetric(
+    basis: BasisSet, kernel: Callable[[Shell, Shell], np.ndarray]
+) -> np.ndarray:
+    """Fill a symmetric one-electron matrix from a shell-pair kernel."""
+    n = basis.nbf
+    out = np.zeros((n, n))
+    shells = basis.shells
+    for i, sa in enumerate(shells):
+        ia = sa.bf_offset
+        for sb in shells[: i + 1]:
+            ib = sb.bf_offset
+            block = kernel(sa, sb)
+            out[ia : ia + sa.nfunc, ib : ib + sb.nfunc] = block
+            if sa is not sb:
+                out[ib : ib + sb.nfunc, ia : ia + sa.nfunc] = block.T
+    return out
+
+
+def overlap_matrix(basis: BasisSet) -> np.ndarray:
+    """Full overlap matrix ``S`` of shape ``(nbf, nbf)``."""
+    return _assemble_symmetric(basis, overlap_shell_pair)
+
+
+def kinetic_matrix(basis: BasisSet) -> np.ndarray:
+    """Full kinetic-energy matrix ``T`` of shape ``(nbf, nbf)``."""
+    return _assemble_symmetric(basis, kinetic_shell_pair)
+
+
+def nuclear_matrix(basis: BasisSet) -> np.ndarray:
+    """Full nuclear-attraction matrix ``V`` of shape ``(nbf, nbf)``."""
+    charges = basis.molecule.charges
+    centers = basis.molecule.coords
+    return _assemble_symmetric(
+        basis, lambda sa, sb: nuclear_shell_pair(sa, sb, charges, centers)
+    )
+
+
+def core_hamiltonian(basis: BasisSet) -> np.ndarray:
+    """Core Hamiltonian ``H = T + V``."""
+    return kinetic_matrix(basis) + nuclear_matrix(basis)

@@ -1,0 +1,35 @@
+"""Overlap integrals over contracted Cartesian Gaussian shells."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.shell import Shell
+from repro.integrals.hermite import e_coefficients_3d
+
+
+def overlap_shell_pair(sha: Shell, shb: Shell) -> np.ndarray:
+    """Overlap block :math:`\\langle a | b \\rangle`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(sha.nfunc, shb.nfunc)`` in canonical Cartesian order.
+    """
+    A, B = sha.center, shb.center
+    comps_a, comps_b = sha.components, shb.components
+    out = np.zeros((sha.nfunc, shb.nfunc))
+
+    for a, ca in zip(sha.exps, sha.coefs):
+        for b, cb in zip(shb.exps, shb.coefs):
+            p = a + b
+            Ex, Ey, Ez = e_coefficients_3d(sha.l, shb.l, a, b, A, B)
+            pref = ca * cb * (math.pi / p) ** 1.5
+            for ia, (ax, ay, az) in enumerate(comps_a):
+                for ib, (bx, by, bz) in enumerate(comps_b):
+                    out[ia, ib] += (
+                        pref * Ex[ax, bx, 0] * Ey[ay, by, 0] * Ez[az, bz, 0]
+                    )
+    return out

@@ -1,0 +1,43 @@
+"""Hardware models: Intel Xeon Phi (KNL) nodes, fabrics, named systems.
+
+These are *parametric performance models*, not emulators: each class
+exposes the small set of hardware characteristics the paper's results
+actually depend on — the per-core multi-threading throughput curve, the
+two-level MCDRAM/DDR4 memory with its configurable modes, the mesh
+cluster (cache-coherency) modes, and the multi-node interconnect's
+reduction cost — with numbers taken from the paper's own hardware
+description (Table 1) and public KNL documentation.
+"""
+
+from repro.machine.knl import (
+    KNLNodeSpec,
+    XEON_BDW_2697,
+    XEON_PHI_7210,
+    XEON_PHI_7230,
+)
+from repro.machine.memory_modes import MemoryMode, effective_bandwidth_gbs
+from repro.machine.cluster_modes import ClusterMode, cluster_penalties
+from repro.machine.interconnect import (
+    ARIES_DRAGONFLY,
+    OMNI_PATH,
+    InterconnectSpec,
+)
+from repro.machine.system import JLSE, THETA, XEON_CLUSTER, SystemSpec
+
+__all__ = [
+    "KNLNodeSpec",
+    "XEON_PHI_7210",
+    "XEON_PHI_7230",
+    "XEON_BDW_2697",
+    "MemoryMode",
+    "effective_bandwidth_gbs",
+    "ClusterMode",
+    "cluster_penalties",
+    "InterconnectSpec",
+    "ARIES_DRAGONFLY",
+    "OMNI_PATH",
+    "SystemSpec",
+    "THETA",
+    "JLSE",
+    "XEON_CLUSTER",
+]

@@ -1,0 +1,59 @@
+"""KNL cluster (cache-coherency) modes.
+
+The distributed tag directory's placement relative to the memory
+controllers determines coherency-traffic latency.  The paper (section
+5.1, Figure 5) finds quadrant-cache best for the hybrid codes, with
+all-to-all noticeably worse — enough that the stock MPI code (whose
+coherency traffic is minimal because nothing is shared) overtakes the
+shared-Fock code in all-to-all mode on small systems.
+
+Each mode carries two scalar penalties applied by the performance
+model:
+
+``coherency``
+    Multiplier on thread-synchronization and shared-write costs
+    (barriers, buffer flushes, shared Fock updates).
+``memory``
+    Multiplier on effective memory latency for irregular access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ClusterMode(str, enum.Enum):
+    """KNL mesh clustering configuration."""
+
+    ALL_TO_ALL = "all-to-all"
+    QUADRANT = "quadrant"
+    HEMISPHERE = "hemisphere"
+    SNC4 = "snc-4"
+    SNC2 = "snc-2"
+
+
+@dataclass(frozen=True)
+class ClusterPenalties:
+    """Relative cost multipliers of a cluster mode (quadrant = 1.0)."""
+
+    coherency: float
+    memory: float
+
+
+_PENALTIES: dict[ClusterMode, ClusterPenalties] = {
+    # Tag directory anywhere on the mesh: longest coherency paths.
+    ClusterMode.ALL_TO_ALL: ClusterPenalties(coherency=1.9, memory=1.25),
+    ClusterMode.QUADRANT: ClusterPenalties(coherency=1.0, memory=1.0),
+    ClusterMode.HEMISPHERE: ClusterPenalties(coherency=1.08, memory=1.04),
+    # Sub-NUMA modes: excellent locality when processes stay in their
+    # cluster (4 MPI ranks map one-per-SNC4 domain), mild extra cost for
+    # cross-domain sharing.
+    ClusterMode.SNC4: ClusterPenalties(coherency=0.97, memory=1.02),
+    ClusterMode.SNC2: ClusterPenalties(coherency=1.0, memory=1.02),
+}
+
+
+def cluster_penalties(mode: ClusterMode | str) -> ClusterPenalties:
+    """Penalty factors for a cluster mode."""
+    return _PENALTIES[ClusterMode(mode)]

@@ -1,0 +1,65 @@
+"""Multi-node interconnect models: Cray Aries (Theta), Intel Omni-Path (JLSE).
+
+The Fock algorithms' inter-node communication is dominated by one
+pattern: the SCF-iteration allreduce of the Fock matrix, plus the
+steady trickle of DDI load-balancer counter fetches.  Both are modelled
+with standard alpha-beta (latency-bandwidth) terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Alpha-beta fabric model.
+
+    Attributes
+    ----------
+    name:
+        Fabric family.
+    latency_us:
+        Small-message one-way latency.
+    bandwidth_gbs:
+        Per-node injection bandwidth.
+    dlb_rtt_us:
+        Round-trip time of one remote DLB counter fetch (an RMA
+        fetch-and-add on the rank-0 node).
+    """
+
+    name: str
+    latency_us: float
+    bandwidth_gbs: float
+    dlb_rtt_us: float
+
+    def allreduce_seconds(self, nbytes: float, nranks: int) -> float:
+        """Allreduce time: recursive-doubling tree (Rabenseifner-style).
+
+        ``2 * log2(p)`` latency terms plus ``2 * (p-1)/p`` bandwidth
+        terms — the standard large-message allreduce model.
+        """
+        if nranks <= 1:
+            return 0.0
+        p = float(nranks)
+        lat = 2.0 * math.log2(p) * self.latency_us * 1e-6
+        bw = 2.0 * (p - 1.0) / p * nbytes / (self.bandwidth_gbs * 1e9)
+        return lat + bw
+
+    def dlb_fetch_seconds(self, *, same_node: bool = False) -> float:
+        """One dynamic-load-balancer counter fetch."""
+        if same_node:
+            return 0.3e-6  # shared-memory atomic
+        return self.dlb_rtt_us * 1e-6
+
+
+#: Theta's fabric: Aries with dragonfly topology.
+ARIES_DRAGONFLY = InterconnectSpec(
+    name="Aries dragonfly", latency_us=1.3, bandwidth_gbs=8.0, dlb_rtt_us=2.5
+)
+
+#: JLSE's fabric.
+OMNI_PATH = InterconnectSpec(
+    name="Intel Omni-Path", latency_us=1.0, bandwidth_gbs=12.5, dlb_rtt_us=2.0
+)

@@ -1,0 +1,119 @@
+"""Second-generation Intel Xeon Phi ("Knights Landing") node model.
+
+Models the characteristics the paper's single-node results hinge on:
+
+* 64 cores at 1.3 GHz, paired into 32 tiles with shared L2;
+* two VPUs per core that require *two* hardware threads to saturate
+  (the core issues two instructions per cycle) — hence the paper's
+  observation that two threads per core give the largest gain, with
+  diminishing returns at three and four;
+* 16 GB of MCDRAM (~400 GB/s) in front of 192 GB DDR4 (~100 GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KNLNodeSpec:
+    """One Knights Landing processor/node.
+
+    The ``smt_throughput`` table gives total core throughput (relative
+    to one thread per core) when 1-4 hardware threads share the core:
+    the paper reports the biggest step from one to two threads per core
+    and small additional gains beyond.
+    """
+
+    model: str
+    ncores: int = 64
+    threads_per_core: int = 4
+    tiles: int = 32
+    frequency_ghz: float = 1.3
+    peak_gflops: float = 2622.0
+    mcdram_gb: float = 16.0
+    mcdram_bw_gbs: float = 400.0
+    ddr_gb: float = 192.0
+    ddr_bw_gbs: float = 100.0
+    smt_throughput: tuple[float, float, float, float] = (1.00, 1.45, 1.52, 1.55)
+
+    @property
+    def max_hw_threads(self) -> int:
+        """Total hardware threads (256 for a 64-core KNL)."""
+        return self.ncores * self.threads_per_core
+
+    def core_throughput(self, threads_on_core: int) -> float:
+        """Relative core throughput with ``threads_on_core`` resident threads."""
+        if threads_on_core <= 0:
+            return 0.0
+        idx = min(threads_on_core, self.threads_per_core) - 1
+        return self.smt_throughput[idx]
+
+    def node_throughput(self, total_threads: int, *, spread: bool = True) -> float:
+        """Aggregate node throughput (in single-thread-core units).
+
+        ``spread=True`` places threads one per core before doubling up
+        (scatter/balanced affinity); ``spread=False`` packs cores to
+        their 2-thread sweet spot first (compact affinity).
+        """
+        if total_threads <= 0:
+            return 0.0
+        total_threads = min(total_threads, self.max_hw_threads)
+        if spread:
+            base, extra = divmod(total_threads, self.ncores)
+            # extra cores carry (base + 1) threads, the rest carry base.
+            return extra * self.core_throughput(base + 1) + (
+                self.ncores - extra
+            ) * self.core_throughput(base)
+        # Compact: fill cores two threads at a time.
+        full_pairs, rem = divmod(total_threads, 2)
+        cores_full = min(full_pairs, self.ncores)
+        th = cores_full * self.core_throughput(2)
+        if rem and cores_full < self.ncores:
+            th += self.core_throughput(1)
+        # Beyond 2/core, wrap around adding 3rd/4th threads.
+        overflow = total_threads - 2 * self.ncores
+        if overflow > 0:
+            th = self.ncores * self.core_throughput(2)
+            three, rem3 = divmod(overflow, self.ncores)
+            if three >= 1:
+                th = self.ncores * self.core_throughput(3)
+                extra4 = overflow - self.ncores
+                if extra4 > 0:
+                    th = (
+                        extra4 * self.core_throughput(4)
+                        + (self.ncores - extra4) * self.core_throughput(3)
+                    )
+            else:
+                th = (
+                    rem3 * self.core_throughput(3)
+                    + (self.ncores - rem3) * self.core_throughput(2)
+                )
+        return th
+
+
+#: JLSE single-node testbed processor.
+XEON_PHI_7210 = KNLNodeSpec(model="Xeon Phi 7210")
+
+#: Theta compute-node processor.
+XEON_PHI_7230 = KNLNodeSpec(model="Xeon Phi 7230")
+
+#: A contemporary dual-socket Xeon (Broadwell-class) node, for the
+#: paper's closing claim that the hybrid codes are "beneficial on the
+#: Intel Xeon multicore platform" as well: fewer, faster cores, 2-way
+#: SMT with a smaller second-thread gain, one flat DDR4 memory level
+#: (modelled as DDR-speed MCDRAM of node-memory size so every memory
+#: mode degenerates to flat DDR behaviour).
+XEON_BDW_2697 = KNLNodeSpec(
+    model="2x Xeon E5-2697v4",
+    ncores=36,
+    threads_per_core=2,
+    tiles=36,
+    frequency_ghz=2.3,
+    peak_gflops=1324.0,
+    mcdram_gb=128.0,
+    mcdram_bw_gbs=154.0,
+    ddr_gb=128.0,
+    ddr_bw_gbs=154.0,
+    smt_throughput=(1.00, 1.25, 1.25, 1.25),
+)

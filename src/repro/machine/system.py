@@ -1,0 +1,60 @@
+"""Named benchmark systems: Theta (ALCF Cray XC40) and the JLSE cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.interconnect import ARIES_DRAGONFLY, OMNI_PATH, InterconnectSpec
+from repro.machine.knl import (
+    KNLNodeSpec,
+    XEON_BDW_2697,
+    XEON_PHI_7210,
+    XEON_PHI_7230,
+)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A benchmark machine: homogeneous KNL nodes plus a fabric."""
+
+    name: str
+    node: KNLNodeSpec
+    interconnect: InterconnectSpec
+    max_nodes: int
+
+    def validate_nodes(self, nodes: int) -> None:
+        """Raise if a requested node count exceeds the machine."""
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        if nodes > self.max_nodes:
+            raise ValueError(
+                f"{self.name} has {self.max_nodes} nodes; {nodes} requested"
+            )
+
+
+#: The 3,624-node Cray XC40 at ALCF used for all multi-node results.
+THETA = SystemSpec(
+    name="Theta",
+    node=XEON_PHI_7230,
+    interconnect=ARIES_DRAGONFLY,
+    max_nodes=3624,
+)
+
+#: The 10-node Joint Laboratory for System Evaluation testbed used for
+#: all single-node results.
+JLSE = SystemSpec(
+    name="JLSE",
+    node=XEON_PHI_7210,
+    interconnect=OMNI_PATH,
+    max_nodes=10,
+)
+
+#: A generic Xeon (Broadwell) cluster for the paper's portability claim
+#: — the hybrid codes are expected to help on standard multicore Xeons
+#: too, if less dramatically than on the many-core Phi.
+XEON_CLUSTER = SystemSpec(
+    name="Xeon-BDW cluster",
+    node=XEON_BDW_2697,
+    interconnect=OMNI_PATH,
+    max_nodes=1024,
+)

@@ -1,0 +1,169 @@
+"""Simulated MPI world and communicator.
+
+Execution model
+---------------
+Ranks run *sequentially* inside one process: ``SimWorld.execute(fn)``
+calls ``fn(comm)`` once per rank with that rank's
+:class:`SimComm`.  This is sufficient — and exactly faithful — for the
+paper's algorithms because their only inter-rank interactions are
+
+* the dynamic-load-balancer counter, which is modelled as a shared
+  pre-partition (any valid grant sequence yields the same reduced
+  result; the timing consequences are modelled separately in
+  :mod:`repro.perfsim`), and
+* terminal collective reductions (``gsumf``), whose data semantics are
+  reproduced here exactly.
+
+Every collective is metered (call counts, bytes moved) so the
+performance model can charge communication costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class CollectiveStats:
+    """Bytes/calls accounting for the simulated fabric."""
+
+    reduce_calls: int = 0
+    reduce_bytes: int = 0
+    bcast_calls: int = 0
+    bcast_bytes: int = 0
+    barrier_calls: int = 0
+
+    def merge(self, other: "CollectiveStats") -> None:
+        """Accumulate another rank's counters into this one."""
+        self.reduce_calls += other.reduce_calls
+        self.reduce_bytes += other.reduce_bytes
+        self.bcast_calls += other.bcast_calls
+        self.bcast_bytes += other.bcast_bytes
+        self.barrier_calls += other.barrier_calls
+
+
+class SimComm:
+    """Per-rank view of the simulated communicator (mpi4py-flavoured API)."""
+
+    def __init__(self, world: "SimWorld", rank: int) -> None:
+        self._world = world
+        self._rank = rank
+        self.stats = CollectiveStats()
+
+    def Get_rank(self) -> int:
+        """This rank's id."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """World size."""
+        return self._world.size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    def gsumf(self, buf: np.ndarray) -> None:
+        """Global in-place sum of ``buf`` across ranks (DDI ``ddi_gsumf``).
+
+        The sum is materialized after every rank has contributed; the
+        calling rank's array object is updated in place at that point,
+        matching allreduce semantics at the algorithm boundary.
+        """
+        self.stats.reduce_calls += 1
+        self.stats.reduce_bytes += buf.nbytes
+        self._world._register_reduction(self._rank, buf)
+
+    def allreduce_scalar(self, value: float) -> float:
+        """Immediate scalar allreduce (sequential world: sums on the fly)."""
+        self.stats.reduce_calls += 1
+        self.stats.reduce_bytes += 8
+        return self._world._scalar_reduce(self._rank, value)
+
+    def bcast(self, arr: np.ndarray, root: int = 0) -> np.ndarray:
+        """Broadcast from ``root`` (data already shared in-process; metered)."""
+        self.stats.bcast_calls += 1
+        self.stats.bcast_bytes += arr.nbytes
+        return arr
+
+    def barrier(self) -> None:
+        """Synchronization point; a no-op in data terms, metered for cost."""
+        self.stats.barrier_calls += 1
+
+
+class SimWorld:
+    """A simulated MPI world of ``size`` ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.comms = tuple(SimComm(self, r) for r in range(size))
+        self._pending: list[list[np.ndarray]] = []
+        self._scalar_slots: dict[int, float] = {}
+        self.stats = CollectiveStats()
+
+    # -- collective bookkeeping -------------------------------------------
+
+    def _register_reduction(self, rank: int, buf: np.ndarray) -> None:
+        # Ranks execute in order; rank r's n-th gsumf call joins the
+        # n-th reduction slot.
+        count_for_rank = sum(
+            1 for slot in self._pending if len(slot) > rank
+        )
+        if count_for_rank == len(self._pending):
+            self._pending.append([])
+        self._pending[count_for_rank].append(buf)
+
+    def _scalar_reduce(self, rank: int, value: float) -> float:
+        self._scalar_slots[rank] = self._scalar_slots.get(rank, 0.0) + value
+        return value  # finalized in execute()
+
+    def _finalize_collectives(self) -> None:
+        for slot in self._pending:
+            if len(slot) != self.size:
+                raise RuntimeError(
+                    f"collective mismatch: {len(slot)} of {self.size} ranks "
+                    "reached a gsumf call"
+                )
+            total = np.zeros_like(slot[0])
+            for buf in slot:
+                total += buf
+            for buf in slot:
+                buf[...] = total
+        self._pending.clear()
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, rank_fn: Callable[[SimComm], object]) -> list[object]:
+        """Run an SPMD function on every rank and finalize collectives.
+
+        Parameters
+        ----------
+        rank_fn:
+            Called once per rank as ``rank_fn(comm)``.  Arrays passed to
+            ``comm.gsumf`` hold the reduced global values once
+            ``execute`` returns.
+
+        Returns
+        -------
+        list
+            Per-rank return values, rank order.
+        """
+        results = [rank_fn(comm) for comm in self.comms]
+        self._finalize_collectives()
+        for comm in self.comms:
+            self.stats.merge(comm.stats)
+        return results

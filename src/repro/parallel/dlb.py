@@ -1,0 +1,116 @@
+"""DDI-style dynamic load balancer (the paper's ``ddi_dlbnext``).
+
+In GAMESS, ``ddi_dlbnext`` increments a globally shared counter and
+returns the next task index; which rank receives which index depends on
+arrival timing.  Any grant sequence partitions the index space, and the
+reduced Fock matrix is independent of the partition — only the *timing*
+depends on it (modelled in :mod:`repro.perfsim`).
+
+The simulated balancer therefore pre-computes a grant partition under a
+chosen policy and serves it through the same one-index-at-a-time
+``next(rank)`` interface the algorithms use:
+
+``round_robin``
+    Index ``t`` goes to rank ``t % nranks`` — what a real DLB converges
+    to when task costs are uniform.
+``block``
+    Contiguous slabs (a static schedule, for ablation).
+``cost_greedy``
+    Longest-processing-time greedy assignment using per-task cost
+    estimates — the partition an ideal dynamic balancer approaches when
+    costs vary; used with real Schwarz work estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+_POLICIES = ("round_robin", "block", "cost_greedy")
+
+
+class DynamicLoadBalancer:
+    """Shared global task counter with a deterministic grant policy.
+
+    Parameters
+    ----------
+    ntasks:
+        Size of the global index space (0-based indices are served).
+    nranks:
+        Number of MPI ranks drawing from the counter.
+    policy:
+        One of ``round_robin`` (default), ``block``, ``cost_greedy``.
+    costs:
+        Per-task cost estimates; required for ``cost_greedy``.
+    """
+
+    def __init__(
+        self,
+        ntasks: int,
+        nranks: int,
+        *,
+        policy: str = "round_robin",
+        costs: np.ndarray | None = None,
+    ) -> None:
+        if ntasks < 0:
+            raise ValueError("ntasks must be non-negative")
+        if nranks < 1:
+            raise ValueError("nranks must be positive")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown DLB policy {policy!r}; choose from {_POLICIES}")
+        self.ntasks = ntasks
+        self.nranks = nranks
+        self.policy = policy
+        self._queues: list[list[int]] = [[] for _ in range(nranks)]
+        self._cursor = [0] * nranks
+
+        if policy == "round_robin":
+            for t in range(ntasks):
+                self._queues[t % nranks].append(t)
+        elif policy == "block":
+            bounds = np.linspace(0, ntasks, nranks + 1).astype(int)
+            for r in range(nranks):
+                self._queues[r] = list(range(bounds[r], bounds[r + 1]))
+        else:  # cost_greedy
+            if costs is None:
+                raise ValueError("cost_greedy policy requires per-task costs")
+            costs = np.asarray(costs, dtype=np.float64)
+            if costs.shape != (ntasks,):
+                raise ValueError(
+                    f"costs must have shape ({ntasks},); got {costs.shape}"
+                )
+            loads = np.zeros(nranks)
+            order = np.argsort(-costs, kind="stable")
+            for t in order:
+                r = int(np.argmin(loads))
+                self._queues[r].append(int(t))
+                loads[r] += costs[t]
+            for q in self._queues:
+                q.sort()  # each rank walks its tasks in index order
+
+    def next(self, rank: int) -> int | None:
+        """Next task index for ``rank``, or ``None`` when exhausted.
+
+        This is the simulated ``ddi_dlbnext``: each call advances the
+        rank's cursor through its granted share of the global counter.
+        """
+        cur = self._cursor[rank]
+        queue = self._queues[rank]
+        if cur >= len(queue):
+            return None
+        self._cursor[rank] = cur + 1
+        return queue[cur]
+
+    def iter_rank(self, rank: int) -> Iterator[int]:
+        """Iterate all remaining task indices granted to ``rank``."""
+        while (t := self.next(rank)) is not None:
+            yield t
+
+    def assignment(self) -> list[list[int]]:
+        """The full grant partition (per-rank task index lists)."""
+        return [list(q) for q in self._queues]
+
+    def reset(self) -> None:
+        """Rewind all rank cursors (grants are unchanged)."""
+        self._cursor = [0] * self.nranks

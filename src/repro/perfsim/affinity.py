@@ -1,0 +1,118 @@
+"""Thread placement model (KMP_AFFINITY / I_MPI_PIN_DOMAIN).
+
+Reproduces the placement effects of the paper's Figure 3.  Each MPI
+rank owns a domain of ``ncores / ranks_per_node`` cores; the affinity
+type decides how the rank's OpenMP threads map onto the domain's cores:
+
+``scatter`` / ``balanced``
+    One thread per core before doubling up — each thread enjoys a whole
+    core until the domain saturates.  (On single-socket KNL domains the
+    two types produce the same core occupancy; they are kept distinct
+    with a tiny locality edge for ``balanced``, which keeps sibling
+    threads on adjacent cores/tiles.)
+``compact``
+    Threads packed two per core from the start: half the cores idle
+    while each busy core runs at the 2-thread SMT throughput.
+``none``
+    No pinning: the OS migrates threads, modelled as scatter placement
+    degraded by a migration/imbalance penalty.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.machine.knl import KNLNodeSpec
+
+
+class Affinity(str, enum.Enum):
+    """KMP_AFFINITY placement types benchmarked in the paper."""
+
+    COMPACT = "compact"
+    SCATTER = "scatter"
+    BALANCED = "balanced"
+    NONE = "none"
+
+
+#: Throughput penalty of unpinned threads (migration, cold caches).
+_NONE_PENALTY = 0.82
+#: Small locality edge of balanced over scatter (tile-adjacent siblings).
+_BALANCED_EDGE = 1.02
+
+
+def placement_throughput(
+    node: KNLNodeSpec,
+    ranks_per_node: int,
+    threads_per_rank: int,
+    affinity: Affinity | str = Affinity.BALANCED,
+) -> float:
+    """Aggregate node throughput for a placement, in 1-thread-core units.
+
+    The value is the sum of per-core SMT throughputs over the cores the
+    placement occupies; dividing work by it (times the core speed)
+    yields ideal node compute time.
+    """
+    affinity = Affinity(affinity)
+    if ranks_per_node < 1 or threads_per_rank < 1:
+        raise ValueError("ranks and threads must be positive")
+
+    if ranks_per_node >= node.ncores:
+        # More ranks than cores (the stock code's regime): processes
+        # share cores exactly like SMT threads do.
+        total = node.node_throughput(
+            ranks_per_node * threads_per_rank,
+            spread=(affinity is not Affinity.COMPACT),
+        )
+    else:
+        domain_cores = max(1, node.ncores // ranks_per_node)
+        t = threads_per_rank
+        if affinity is Affinity.COMPACT:
+            per_domain = _domain_throughput_packed(node, domain_cores, t)
+        else:
+            per_domain = _domain_throughput_spread(node, domain_cores, t)
+        total = per_domain * ranks_per_node
+    if affinity is Affinity.NONE:
+        total *= _NONE_PENALTY
+    elif affinity is Affinity.BALANCED:
+        total = min(total * _BALANCED_EDGE,
+                    node.ncores * node.core_throughput(node.threads_per_core))
+    return total
+
+
+def _domain_throughput_spread(
+    node: KNLNodeSpec, cores: int, threads: int
+) -> float:
+    """Spread placement: one per core first, then 2nd/3rd/4th layers."""
+    threads = min(threads, cores * node.threads_per_core)
+    base, extra = divmod(threads, cores)
+    if base == 0:
+        return extra * node.core_throughput(1)
+    return extra * node.core_throughput(base + 1) + (cores - extra) * (
+        node.core_throughput(base)
+    )
+
+
+def _domain_throughput_packed(
+    node: KNLNodeSpec, cores: int, threads: int
+) -> float:
+    """Compact placement: fill each core to 4 threads before the next.
+
+    KMP_AFFINITY=compact assigns consecutive thread ids to consecutive
+    hardware-thread contexts, so cores saturate one at a time.
+    """
+    threads = min(threads, cores * node.threads_per_core)
+    full_cores, rem = divmod(threads, node.threads_per_core)
+    th = full_cores * node.core_throughput(node.threads_per_core)
+    if rem:
+        th += node.core_throughput(rem)
+    return th
+
+
+def threads_per_core(
+    node: KNLNodeSpec, ranks_per_node: int, threads_per_rank: int
+) -> float:
+    """Average hardware-thread occupancy per active core (spread placement)."""
+    domain_cores = max(1, node.ncores // ranks_per_node)
+    t = min(threads_per_rank, domain_cores * node.threads_per_core)
+    active = min(domain_cores, t)
+    return t / active if active else 0.0

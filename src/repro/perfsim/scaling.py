@@ -1,0 +1,168 @@
+"""Scaling sweeps: the direct generators of the paper's plots.
+
+* :func:`node_scaling` — Figure 6 / Table 3 / Figure 7 (time vs nodes,
+  parallel efficiency).
+* :func:`single_node_thread_scaling` — Figure 4 (time vs hardware
+  threads on one node for all three codes) and Figure 3 (affinity
+  sweep, shared Fock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.memory_model import AlgorithmKind
+from repro.machine.system import JLSE, THETA, SystemSpec
+from repro.perfsim.affinity import Affinity
+from repro.perfsim.cost_model import CostModel
+from repro.perfsim.simulate import RunConfig, SimResult, simulate_fock_build
+from repro.perfsim.workload import Workload
+
+
+@dataclass
+class ScalingPoint:
+    """One point on a scaling curve."""
+
+    x: int                # nodes or hardware threads
+    seconds: float
+    efficiency: float     # parallel efficiency relative to the base point
+    feasible: bool
+    sim: SimResult
+
+
+def parallel_efficiency(
+    base_x: int, base_seconds: float, x: int, seconds: float
+) -> float:
+    """Standard parallel efficiency: ``(t0 * x0) / (t * x)``."""
+    if seconds <= 0 or x <= 0:
+        return 0.0
+    return (base_seconds * base_x) / (seconds * x)
+
+
+def node_scaling(
+    workload: Workload,
+    algorithm: AlgorithmKind | str,
+    node_counts: list[int],
+    cost: CostModel,
+    *,
+    system: SystemSpec = THETA,
+    ranks_per_node: int | None = None,
+    threads_per_rank: int = 64,
+    **config_kw,
+) -> list[ScalingPoint]:
+    """Time-to-solution and efficiency across node counts.
+
+    For the MPI-only algorithm ``ranks_per_node=None`` auto-sizes the
+    per-node rank count to the memory limit (as the paper's runs must).
+    """
+    kind = AlgorithmKind(algorithm)
+    points: list[ScalingPoint] = []
+    base: tuple[int, float] | None = None
+    for nodes in node_counts:
+        if kind is AlgorithmKind.MPI_ONLY:
+            cfg = RunConfig.mpi_only(
+                system=system, nodes=nodes, ranks_per_node=ranks_per_node,
+                **config_kw,
+            )
+        else:
+            cfg = RunConfig.hybrid(
+                kind, system=system, nodes=nodes,
+                ranks_per_node=ranks_per_node or 4,
+                threads_per_rank=threads_per_rank, **config_kw,
+            )
+        sim = simulate_fock_build(workload, cfg, cost)
+        if sim.feasible and base is None:
+            base = (nodes, sim.total_seconds)
+        eff = (
+            parallel_efficiency(base[0], base[1], nodes, sim.total_seconds)
+            if (base is not None and sim.feasible)
+            else 0.0
+        )
+        points.append(
+            ScalingPoint(
+                x=nodes, seconds=sim.total_seconds, efficiency=eff,
+                feasible=sim.feasible, sim=sim,
+            )
+        )
+    return points
+
+
+def crossover_nodes(
+    workload: Workload,
+    cost: CostModel,
+    *,
+    system: SystemSpec = THETA,
+    node_counts: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512),
+) -> int | None:
+    """Smallest node count where shared Fock beats private Fock.
+
+    The paper's Table 3 shows this crossover at 128 nodes for the
+    2.0 nm dataset; its position shifts with the dataset's iteration-
+    space sizes, which is what this helper lets callers map out.
+    """
+    for nodes in node_counts:
+        shf = simulate_fock_build(
+            workload, RunConfig.hybrid("shared-fock", system=system,
+                                       nodes=nodes), cost,
+        )
+        prf = simulate_fock_build(
+            workload, RunConfig.hybrid("private-fock", system=system,
+                                       nodes=nodes), cost,
+        )
+        if shf.feasible and prf.feasible and (
+            shf.total_seconds < prf.total_seconds
+        ):
+            return nodes
+    return None
+
+
+def single_node_thread_scaling(
+    workload: Workload,
+    algorithm: AlgorithmKind | str,
+    hw_thread_counts: list[int],
+    cost: CostModel,
+    *,
+    system: SystemSpec = JLSE,
+    affinity: Affinity = Affinity.BALANCED,
+    hybrid_ranks: int = 4,
+    **config_kw,
+) -> list[ScalingPoint]:
+    """Figure-4-style sweep: time vs occupied hardware threads, 1 node.
+
+    The hybrid codes hold 4 MPI ranks and scale threads per rank; the
+    stock code scales MPI ranks directly.  Points whose memory footprint
+    does not fit the node are reported infeasible — this is how the
+    stock code's 128-thread ceiling appears.
+    """
+    kind = AlgorithmKind(algorithm)
+    points: list[ScalingPoint] = []
+    base: tuple[int, float] | None = None
+    for hw in hw_thread_counts:
+        if kind is AlgorithmKind.MPI_ONLY:
+            cfg = RunConfig.mpi_only(
+                system=system, nodes=1, ranks_per_node=hw,
+                affinity=affinity, **config_kw,
+            )
+        else:
+            tpr = max(1, hw // hybrid_ranks)
+            cfg = RunConfig.hybrid(
+                kind, system=system, nodes=1, ranks_per_node=hybrid_ranks,
+                threads_per_rank=tpr, affinity=affinity, **config_kw,
+            )
+        sim = simulate_fock_build(workload, cfg, cost)
+        if sim.feasible and base is None:
+            base = (hw, sim.total_seconds)
+        eff = (
+            parallel_efficiency(base[0], base[1], hw, sim.total_seconds)
+            if (base is not None and sim.feasible)
+            else 0.0
+        )
+        points.append(
+            ScalingPoint(
+                x=hw, seconds=sim.total_seconds, efficiency=eff,
+                feasible=sim.feasible, sim=sim,
+            )
+        )
+    return points

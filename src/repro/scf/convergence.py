@@ -1,0 +1,41 @@
+"""SCF convergence criteria.
+
+The paper defines convergence as "the root-mean-squared difference of
+consecutive densities lying below a chosen convergence threshold"; the
+energy-change criterion is tracked as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def density_rms_change(d_new: np.ndarray, d_old: np.ndarray) -> float:
+    """Root-mean-square element-wise change between two density matrices."""
+    diff = d_new - d_old
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+@dataclass(frozen=True)
+class ConvergenceCriteria:
+    """Thresholds that terminate the SCF loop.
+
+    Attributes
+    ----------
+    density_rms:
+        RMS density-change threshold (the paper's criterion).
+    energy:
+        Absolute energy-change threshold.
+    max_iterations:
+        Hard iteration cap; exceeding it raises in strict mode.
+    """
+
+    density_rms: float = 1.0e-8
+    energy: float = 1.0e-10
+    max_iterations: int = 100
+
+    def converged(self, d_rms: float, de: float) -> bool:
+        """True when both thresholds are satisfied."""
+        return d_rms < self.density_rms and abs(de) < self.energy

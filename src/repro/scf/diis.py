@@ -1,0 +1,79 @@
+"""Pulay DIIS (direct inversion of the iterative subspace) acceleration."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class DIIS:
+    """Classic commutator-DIIS for SCF convergence acceleration.
+
+    Stores up to ``max_vectors`` (Fock, error) pairs; the error vector
+    is the orthogonalized commutator ``X^T (FDS - SDF) X`` whose norm
+    vanishes at self-consistency.
+    """
+
+    def __init__(self, max_vectors: int = 8) -> None:
+        if max_vectors < 2:
+            raise ValueError("DIIS needs at least 2 stored vectors")
+        self.max_vectors = max_vectors
+        self._focks: deque[np.ndarray] = deque(maxlen=max_vectors)
+        self._errors: deque[np.ndarray] = deque(maxlen=max_vectors)
+
+    @staticmethod
+    def error_vector(
+        F: np.ndarray, D: np.ndarray, S: np.ndarray, X: np.ndarray
+    ) -> np.ndarray:
+        """Orthogonalized SCF error ``X^T (FDS - SDF) X``."""
+        fds = F @ D @ S
+        return X.T @ (fds - fds.T) @ X
+
+    def push(self, fock: np.ndarray, error: np.ndarray) -> None:
+        """Record one iteration's Fock matrix and error vector."""
+        self._focks.append(fock.copy())
+        self._errors.append(error.copy())
+
+    @property
+    def nvectors(self) -> int:
+        """Number of stored iterates."""
+        return len(self._focks)
+
+    def extrapolate(self) -> np.ndarray:
+        """Return the DIIS-extrapolated Fock matrix.
+
+        With fewer than two stored vectors the most recent Fock matrix
+        is returned unchanged.  If the DIIS linear system is singular
+        the oldest vector is dropped and the solve retried.
+        """
+        if self.nvectors < 2:
+            return self._focks[-1].copy()
+
+        while True:
+            n = len(self._errors)
+            B = np.empty((n + 1, n + 1))
+            B[-1, :] = -1.0
+            B[:, -1] = -1.0
+            B[-1, -1] = 0.0
+            for i, ei in enumerate(self._errors):
+                for j, ej in enumerate(self._errors):
+                    if j < i:
+                        B[i, j] = B[j, i]
+                    else:
+                        B[i, j] = float(np.vdot(ei, ej))
+            rhs = np.zeros(n + 1)
+            rhs[-1] = -1.0
+            try:
+                coeffs = np.linalg.solve(B, rhs)[:n]
+                break
+            except np.linalg.LinAlgError:
+                if n <= 2:
+                    return self._focks[-1].copy()
+                self._focks.popleft()
+                self._errors.popleft()
+
+        out = np.zeros_like(self._focks[-1])
+        for c, f in zip(coeffs, self._focks):
+            out += c * f
+        return out

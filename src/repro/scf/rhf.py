@@ -1,0 +1,208 @@
+"""Restricted Hartree-Fock driver with a pluggable Fock builder.
+
+The driver implements exactly the SCF structure the paper describes
+(section 3): core-Hamiltonian guess, Fock construction from the current
+density, diagonalization via a symmetric-orthogonalization transform,
+density update, and RMS-density convergence — accelerated by DIIS.
+
+Any Fock builder satisfying ``builder(density) -> (fock, stats)`` can be
+plugged in: the dense reference (:class:`~repro.scf.fock_dense.DenseFockBuilder`)
+or any of the three parallel algorithms from :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
+from repro.scf.convergence import ConvergenceCriteria, density_rms_change
+from repro.scf.diis import DIIS
+from repro.scf.guess import (
+    core_guess_density,
+    density_from_coefficients,
+    diagonalize_fock,
+    orthogonalizer,
+)
+
+
+class FockBuilder(Protocol):
+    """Protocol for pluggable Fock constructions."""
+
+    def __call__(self, density: np.ndarray) -> tuple[np.ndarray, dict]:
+        """Return ``(fock, stats)`` for a given closed-shell density."""
+        ...
+
+
+@dataclass
+class SCFIteration:
+    """Record of one SCF cycle."""
+
+    iteration: int
+    energy: float
+    density_rms: float
+    energy_change: float
+    fock_stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class SCFResult:
+    """Outcome of an SCF run.
+
+    Attributes
+    ----------
+    energy:
+        Total RHF energy (electronic + nuclear repulsion), Hartree.
+    electronic_energy:
+        Electronic part only.
+    nuclear_repulsion:
+        Nuclear repulsion energy.
+    converged:
+        Whether the convergence criteria were met.
+    iterations:
+        Per-cycle records.
+    orbital_energies / coefficients / density / fock:
+        Final wavefunction quantities.
+    """
+
+    energy: float
+    electronic_energy: float
+    nuclear_repulsion: float
+    converged: bool
+    iterations: list[SCFIteration]
+    orbital_energies: np.ndarray
+    coefficients: np.ndarray
+    density: np.ndarray
+    fock: np.ndarray
+
+    @property
+    def niterations(self) -> int:
+        """Number of SCF cycles performed."""
+        return len(self.iterations)
+
+
+class RHF:
+    """Restricted (closed-shell) Hartree-Fock.
+
+    Parameters
+    ----------
+    basis:
+        The AO basis (carries the molecule).
+    fock_builder:
+        Optional two-electron Fock construction; defaults to the dense
+        reference builder.  The builder receives the density and must
+        return the *full* Fock matrix (core Hamiltonian included) plus a
+        stats dict.
+    criteria:
+        SCF convergence thresholds.
+    use_diis:
+        Enable Pulay DIIS (on by default).
+    damping:
+        Optional static density damping factor in (0, 1): the next
+        density is ``(1 - damping) * D_new + damping * D_old``.  A
+        robustness aid for hard cases; applied only while DIIS has not
+        yet accumulated two iterates (or throughout, without DIIS).
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        fock_builder: FockBuilder | None = None,
+        *,
+        criteria: ConvergenceCriteria | None = None,
+        use_diis: bool = True,
+        damping: float | None = None,
+    ) -> None:
+        nelec = basis.molecule.nelectrons
+        if nelec % 2 != 0:
+            raise ValueError(
+                f"RHF needs an even electron count; got {nelec} "
+                f"(use charge to close the shell)"
+            )
+        if damping is not None and not (0.0 < damping < 1.0):
+            raise ValueError("damping must be in (0, 1)")
+        self.basis = basis
+        self.nocc = nelec // 2
+        self.criteria = criteria or ConvergenceCriteria()
+        self.use_diis = use_diis
+        self.damping = damping
+
+        self.S = overlap_matrix(basis)
+        self.T = kinetic_matrix(basis)
+        self.V = nuclear_matrix(basis)
+        self.hcore = self.T + self.V
+        self.X = orthogonalizer(self.S)
+        self.enuc = basis.molecule.nuclear_repulsion()
+
+        if fock_builder is None:
+            from repro.scf.fock_dense import DenseFockBuilder
+
+            fock_builder = DenseFockBuilder(basis, self.hcore)
+        self.fock_builder = fock_builder
+
+    def electronic_energy(self, density: np.ndarray, fock: np.ndarray) -> float:
+        """Closed-shell electronic energy ``1/2 Tr[D (H + F)]``."""
+        return 0.5 * float(np.sum(density * (self.hcore + fock)))
+
+    def run(self, *, initial_density: np.ndarray | None = None) -> SCFResult:
+        """Iterate the SCF to convergence.
+
+        Parameters
+        ----------
+        initial_density:
+            Optional starting density; defaults to the core guess.
+        """
+        D = (
+            initial_density.copy()
+            if initial_density is not None
+            else core_guess_density(self.hcore, self.S, self.nocc)
+        )
+        diis = DIIS() if self.use_diis else None
+        history: list[SCFIteration] = []
+        e_old = 0.0
+        eps = np.zeros(self.basis.nbf)
+        C = np.zeros((self.basis.nbf, self.basis.nbf))
+        F = self.hcore.copy()
+        converged = False
+
+        for it in range(1, self.criteria.max_iterations + 1):
+            F, stats = self.fock_builder(D)
+            e_elec = self.electronic_energy(D, F)
+
+            F_eff = F
+            if diis is not None:
+                err = DIIS.error_vector(F, D, self.S, self.X)
+                diis.push(F, err)
+                F_eff = diis.extrapolate()
+
+            eps, C = diagonalize_fock(F_eff, self.X)
+            D_new = density_from_coefficients(C, self.nocc)
+            if self.damping is not None and (
+                diis is None or diis.nvectors < 2
+            ):
+                D_new = (1.0 - self.damping) * D_new + self.damping * D
+
+            d_rms = density_rms_change(D_new, D)
+            de = e_elec - e_old
+            history.append(SCFIteration(it, e_elec + self.enuc, d_rms, de, stats))
+
+            D = D_new
+            e_old = e_elec
+            if self.criteria.converged(d_rms, de) and it > 1:
+                converged = True
+                break
+
+        return SCFResult(
+            energy=e_old + self.enuc,
+            electronic_energy=e_old,
+            nuclear_repulsion=self.enuc,
+            converged=converged,
+            iterations=history,
+            orbital_energies=eps,
+            coefficients=C,
+            density=D,
+            fock=F,
+        )

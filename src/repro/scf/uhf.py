@@ -1,0 +1,233 @@
+"""Unrestricted Hartree-Fock (UHF).
+
+The paper's conclusion names UHF as a method whose implementation
+"can directly benefit from this work" because its Fock construction has
+the identical structure: two Fock matrices assembled from the same ERI
+sweep,
+
+.. math::
+
+   F^\\alpha = h + J(D^\\alpha + D^\\beta) - K(D^\\alpha), \\qquad
+   F^\\beta  = h + J(D^\\alpha + D^\\beta) - K(D^\\beta),
+
+with spin densities :math:`D^\\sigma = C^\\sigma_{occ} C^{\\sigma T}_{occ}`
+(no factor of two).  This module provides the dense reference build and
+the UHF SCF driver; :mod:`repro.core.fock_uhf` provides the hybrid
+MPI/OpenMP construction using the paper's machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
+from repro.scf.convergence import ConvergenceCriteria, density_rms_change
+from repro.scf.diis import DIIS
+from repro.scf.guess import diagonalize_fock, orthogonalizer
+
+
+class UHFFockBuilder(Protocol):
+    """Protocol for UHF Fock constructions."""
+
+    def __call__(
+        self, d_alpha: np.ndarray, d_beta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Return ``(F_alpha, F_beta, stats)``."""
+        ...
+
+
+def uhf_fock_from_eri(
+    hcore: np.ndarray,
+    eri: np.ndarray,
+    d_alpha: np.ndarray,
+    d_beta: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense reference spin Fock matrices from a full ERI tensor."""
+    d_total = d_alpha + d_beta
+    J = np.einsum("mnls,ls->mn", eri, d_total, optimize=True)
+    Ka = np.einsum("mlns,ls->mn", eri, d_alpha, optimize=True)
+    Kb = np.einsum("mlns,ls->mn", eri, d_beta, optimize=True)
+    return hcore + J - Ka, hcore + J - Kb
+
+
+class DenseUHFFockBuilder:
+    """Dense-ERI UHF Fock builder (ground truth for the parallel one)."""
+
+    def __init__(self, basis: BasisSet, hcore: np.ndarray) -> None:
+        from repro.scf.fock_dense import eri_tensor
+
+        self.hcore = hcore
+        self.eri = eri_tensor(basis)
+
+    def __call__(self, d_alpha, d_beta):
+        fa, fb = uhf_fock_from_eri(self.hcore, self.eri, d_alpha, d_beta)
+        return fa, fb, {}
+
+
+@dataclass
+class UHFResult:
+    """Outcome of a UHF run."""
+
+    energy: float
+    electronic_energy: float
+    nuclear_repulsion: float
+    converged: bool
+    niterations: int
+    orbital_energies: tuple[np.ndarray, np.ndarray]
+    coefficients: tuple[np.ndarray, np.ndarray]
+    densities: tuple[np.ndarray, np.ndarray]
+    focks: tuple[np.ndarray, np.ndarray]
+    s_squared: float
+
+    @property
+    def spin_contamination(self) -> float:
+        """Deviation of <S^2> from the exact Sz(Sz + 1) value."""
+        return self.s_squared - self._exact_s2
+
+    _exact_s2: float = 0.0
+
+
+class UHF:
+    """Unrestricted Hartree-Fock driver.
+
+    Parameters
+    ----------
+    basis:
+        The AO basis (the molecule's charge fixes the electron count).
+    multiplicity:
+        Spin multiplicity ``2S + 1``; must be consistent with the
+        electron count's parity.
+    fock_builder:
+        Optional spin-Fock construction; defaults to the dense builder.
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        *,
+        multiplicity: int = 1,
+        fock_builder: UHFFockBuilder | None = None,
+        criteria: ConvergenceCriteria | None = None,
+        use_diis: bool = True,
+    ) -> None:
+        nelec = basis.molecule.nelectrons
+        nunpaired = multiplicity - 1
+        if nunpaired < 0 or (nelec - nunpaired) % 2 != 0:
+            raise ValueError(
+                f"multiplicity {multiplicity} inconsistent with "
+                f"{nelec} electrons"
+            )
+        self.basis = basis
+        self.nalpha = (nelec + nunpaired) // 2
+        self.nbeta = (nelec - nunpaired) // 2
+        self.criteria = criteria or ConvergenceCriteria()
+        self.use_diis = use_diis
+
+        self.S = overlap_matrix(basis)
+        self.hcore = kinetic_matrix(basis) + nuclear_matrix(basis)
+        self.X = orthogonalizer(self.S)
+        self.enuc = basis.molecule.nuclear_repulsion()
+        self.fock_builder = fock_builder or DenseUHFFockBuilder(
+            basis, self.hcore
+        )
+
+    # -- pieces ------------------------------------------------------------
+
+    def electronic_energy(
+        self, da: np.ndarray, db: np.ndarray, fa: np.ndarray, fb: np.ndarray
+    ) -> float:
+        """``E = 1/2 [ (Da + Db) . h + Da . Fa + Db . Fb ]``."""
+        return 0.5 * float(
+            np.sum((da + db) * self.hcore) + np.sum(da * fa) + np.sum(db * fb)
+        )
+
+    def s_squared(self, ca: np.ndarray, cb: np.ndarray) -> float:
+        """UHF <S^2> expectation value.
+
+        ``Sz(Sz + 1) + N_beta - sum |<alpha_i|S|beta_j>|^2`` over the
+        occupied blocks.
+        """
+        sz = 0.5 * (self.nalpha - self.nbeta)
+        if self.nbeta == 0:
+            return sz * (sz + 1.0)
+        ov = ca[:, : self.nalpha].T @ self.S @ cb[:, : self.nbeta]
+        return sz * (sz + 1.0) + self.nbeta - float(np.sum(ov * ov))
+
+    def _initial_densities(self) -> tuple[np.ndarray, np.ndarray]:
+        _, c = diagonalize_fock(self.hcore, self.X)
+        da = c[:, : self.nalpha] @ c[:, : self.nalpha].T
+        db = c[:, : self.nbeta] @ c[:, : self.nbeta].T
+        # Tiny symmetry-breaking perturbation so open shells can relax
+        # away from the spin-restricted core guess.
+        if self.nalpha != self.nbeta:
+            da = da * 1.0  # alpha already differs via occupation
+        return da, db
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> UHFResult:
+        """Iterate to self-consistency."""
+        da, db = self._initial_densities()
+        diis = DIIS() if self.use_diis else None
+        e_old = 0.0
+        converged = False
+        it = 0
+        eps_a = eps_b = np.zeros(self.basis.nbf)
+        ca = cb = np.zeros((self.basis.nbf, self.basis.nbf))
+        fa = fb = self.hcore
+
+        for it in range(1, self.criteria.max_iterations + 1):
+            fa, fb, _stats = self.fock_builder(da, db)
+            e_elec = self.electronic_energy(da, db, fa, fb)
+
+            fa_eff, fb_eff = fa, fb
+            if diis is not None:
+                # Stacked-spin DIIS: one extrapolation space for both
+                # Fock matrices with the combined commutator error.
+                err = np.concatenate(
+                    (
+                        DIIS.error_vector(fa, da, self.S, self.X).ravel(),
+                        DIIS.error_vector(fb, db, self.S, self.X).ravel(),
+                    )
+                )
+                stacked = np.concatenate((fa.ravel(), fb.ravel()))
+                diis.push(stacked, err)
+                ext = diis.extrapolate()
+                n2 = self.basis.nbf * self.basis.nbf
+                fa_eff = ext[:n2].reshape(fa.shape)
+                fb_eff = ext[n2:].reshape(fb.shape)
+
+            eps_a, ca = diagonalize_fock(fa_eff, self.X)
+            eps_b, cb = diagonalize_fock(fb_eff, self.X)
+            da_new = ca[:, : self.nalpha] @ ca[:, : self.nalpha].T
+            db_new = cb[:, : self.nbeta] @ cb[:, : self.nbeta].T
+
+            drms = max(
+                density_rms_change(da_new, da),
+                density_rms_change(db_new, db),
+            )
+            de = e_elec - e_old
+            da, db, e_old = da_new, db_new, e_elec
+            if self.criteria.converged(drms, de) and it > 1:
+                converged = True
+                break
+
+        sz = 0.5 * (self.nalpha - self.nbeta)
+        result = UHFResult(
+            energy=e_old + self.enuc,
+            electronic_energy=e_old,
+            nuclear_repulsion=self.enuc,
+            converged=converged,
+            niterations=it,
+            orbital_energies=(eps_a, eps_b),
+            coefficients=(ca, cb),
+            densities=(da, db),
+            focks=(fa, fb),
+            s_squared=self.s_squared(ca, cb),
+        )
+        object.__setattr__(result, "_exact_s2", sz * (sz + 1.0))
+        return result

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.molecule import hydrogen_molecule, methane, water
+
+
+@pytest.fixture(scope="session")
+def water_sto3g() -> BasisSet:
+    """Water in STO-3G: the small validation workhorse (7 BFs, 4 shells)."""
+    return BasisSet(water(), "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def water_631gd() -> BasisSet:
+    """Water in 6-31G(d): exercises L and Cartesian d shells (19 BFs)."""
+    return BasisSet(water(), "6-31g(d)")
+
+
+@pytest.fixture(scope="session")
+def h2_631g() -> BasisSet:
+    """H2 in 6-31G: smallest multi-shell system."""
+    return BasisSet(hydrogen_molecule(), "6-31g")
+
+
+@pytest.fixture(scope="session")
+def methane_sto3g() -> BasisSet:
+    """Methane in STO-3G: more shells, includes carbon L shell."""
+    return BasisSet(methane(), "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def water_sto3g_reference(water_sto3g):
+    """Dense reference data for water/STO-3G: (hcore, eri, random D)."""
+    from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+    from repro.scf.fock_dense import eri_tensor
+
+    h = kinetic_matrix(water_sto3g) + nuclear_matrix(water_sto3g)
+    eri = eri_tensor(water_sto3g)
+    rng = np.random.default_rng(42)
+    d = rng.standard_normal((water_sto3g.nbf, water_sto3g.nbf))
+    d = d + d.T
+    return h, eri, d

@@ -1,0 +1,70 @@
+"""Thread-placement model (Figure 3 mechanisms)."""
+
+import pytest
+
+from repro.machine.knl import XEON_PHI_7210
+from repro.perfsim.affinity import (
+    Affinity,
+    placement_throughput,
+    threads_per_core,
+)
+
+NODE = XEON_PHI_7210
+
+
+def test_balanced_and_scatter_close():
+    for tpr in (1, 4, 16, 64):
+        b = placement_throughput(NODE, 4, tpr, Affinity.BALANCED)
+        s = placement_throughput(NODE, 4, tpr, Affinity.SCATTER)
+        assert abs(b - s) / s < 0.05
+
+
+def test_compact_worse_midrange():
+    """Packing 2/core while cores sit idle loses throughput (Figure 3)."""
+    for tpr in (2, 4, 8, 16):
+        c = placement_throughput(NODE, 4, tpr, Affinity.COMPACT)
+        s = placement_throughput(NODE, 4, tpr, Affinity.SCATTER)
+        assert c < s
+
+
+def test_all_types_converge_at_saturation():
+    """At 64 threads/rank x 4 ranks every hw thread is busy regardless."""
+    full = [
+        placement_throughput(NODE, 4, 64, a)
+        for a in (Affinity.COMPACT, Affinity.SCATTER, Affinity.BALANCED)
+    ]
+    assert max(full) / min(full) < 1.05
+
+
+def test_none_is_penalized():
+    for tpr in (4, 16, 64):
+        n = placement_throughput(NODE, 4, tpr, Affinity.NONE)
+        s = placement_throughput(NODE, 4, tpr, Affinity.SCATTER)
+        assert n < s
+
+
+def test_throughput_monotone_in_threads():
+    prev = 0.0
+    for tpr in (1, 2, 4, 8, 16, 32, 64):
+        cur = placement_throughput(NODE, 4, tpr, Affinity.BALANCED)
+        assert cur >= prev
+        prev = cur
+
+
+def test_mpi_style_placement():
+    """Single-thread ranks: throughput follows the rank count."""
+    t64 = placement_throughput(NODE, 64, 1, Affinity.BALANCED)
+    t128 = placement_throughput(NODE, 128, 1, Affinity.BALANCED)
+    assert t128 > t64
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        placement_throughput(NODE, 0, 4)
+    with pytest.raises(ValueError):
+        placement_throughput(NODE, 4, 0)
+
+
+def test_threads_per_core_estimate():
+    assert threads_per_core(NODE, 4, 16) == 1.0
+    assert threads_per_core(NODE, 4, 32) == 2.0

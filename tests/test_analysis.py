@@ -1,0 +1,107 @@
+"""Table/figure reproduction layer."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure3_affinity,
+    figure4_single_node,
+    figure5_modes,
+    figure6_scaling_curves,
+)
+from repro.analysis.report import format_seconds, render_series, shape_check
+from repro.analysis.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3_TIMES,
+    render_table,
+    table2_memory_footprints,
+    table3_multinode,
+    table4_system_sizes,
+)
+from repro.perfsim.cost_model import calibrated_cost_model
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return calibrated_cost_model()
+
+
+def test_table4_matches_paper_exactly():
+    for row in table4_system_sizes():
+        assert row.natoms == row.paper_natoms
+        assert row.nshells == row.paper_nshells
+        assert row.nbf == row.paper_nbf
+
+
+def test_table2_rows_complete():
+    rows = table2_memory_footprints()
+    assert {r.dataset for r in rows} == set(PAPER_TABLE2)
+    for r in rows:
+        assert r.mpi_gb > r.private_gb > r.shared_gb
+        # Same order of magnitude as the paper's MPI column.
+        assert 0.2 < r.mpi_gb / r.paper_mpi_gb < 5.0
+
+
+def test_table2_reduction_headlines():
+    rows = {r.dataset: r for r in table2_memory_footprints()}
+    big = rows["5.0nm"]
+    assert big.reduction_shared > 80
+    assert big.reduction_private > 4
+
+
+def test_table3_accuracy_within_factor_two(cost):
+    """Every simulated Table-3 time within 2x of the paper's value."""
+    for row in table3_multinode(cost):
+        for alg, paper in zip(
+            ("mpi-only", "private-fock", "shared-fock"), row.paper_times
+        ):
+            got = row.times[alg]
+            assert paper / 2.0 < got < paper * 2.0, (row.nodes, alg)
+
+
+def test_table3_crossover(cost):
+    """Shared Fock overtakes private Fock by 128 nodes (paper: 128)."""
+    rows = {r.nodes: r for r in table3_multinode(cost)}
+    assert rows[4].times["private-fock"] < rows[4].times["shared-fock"]
+    assert rows[128].times["shared-fock"] < rows[128].times["private-fock"]
+
+
+def test_figure3_affinity_ordering(cost):
+    series = {s.label: s for s in figure3_affinity(cost)}
+    # At 8 threads/rank compact is clearly worse than balanced.
+    idx = series["balanced"].x.index(8)
+    assert series["compact"].seconds[idx] > 1.3 * series["balanced"].seconds[idx]
+    assert series["none"].seconds[idx] > series["balanced"].seconds[idx]
+
+
+def test_figure4_mpi_ceiling(cost):
+    series = {s.label: s for s in figure4_single_node(cost)}
+    mpi = series["mpi-only"]
+    assert not mpi.feasible[mpi.x.index(256)]
+    assert all(series["shared-fock"].feasible)
+
+
+def test_figure5_structure(cost):
+    out = figure5_modes(cost, datasets=("0.5nm",))
+    recs = out["0.5nm"]
+    assert len(recs) == 3 * 3 * 3
+    assert {r["algorithm"] for r in recs} == {
+        "mpi-only", "private-fock", "shared-fock",
+    }
+
+
+def test_figure6_curves(cost):
+    series = figure6_scaling_curves(cost, node_counts=(4, 64, 512))
+    assert len(series) == 3
+    for s in series:
+        assert len(s.x) == 3
+
+
+def test_render_helpers():
+    assert format_seconds(float("inf")) == "--"
+    assert "123" in format_seconds(123.0)
+    table = render_table(["a", "b"], [["1", "2"], ["3", "4"]])
+    assert "a" in table and "4" in table
+    out = shape_check("t", "x", {"x": 1.0, "y": 2.0})
+    assert "OK" in out
+    out2 = shape_check("t", "y", {"x": 1.0, "y": 2.0})
+    assert "MISMATCH" in out2

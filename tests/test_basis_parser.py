@@ -1,0 +1,80 @@
+"""GAMESS-format basis parser."""
+
+import math
+
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.basis.parser import (
+    BasisParseError,
+    load_gamess_basis,
+    parse_gamess_basis,
+)
+from repro.chem.molecule import water
+from repro.scf.rhf import RHF
+
+STO3G_TEXT = """
+! STO-3G as exported in GAMESS-US format
+HYDROGEN
+S   3
+  1     3.42525091         0.15432897
+  2     0.62391373         0.53532814
+  3     0.16885540         0.44463454
+
+OXYGEN
+S   3
+  1   130.70932000         0.15432897
+  2    23.80886100         0.53532814
+  3     6.44360830         0.44463454
+L   3
+  1     5.03315130        -0.09996723   0.15591627
+  2     1.16959610         0.39951283   0.60768372
+  3     0.38038900         0.70011547   0.39195739
+"""
+
+
+def test_parse_structure():
+    parsed = parse_gamess_basis(STO3G_TEXT)
+    assert set(parsed) == {"H", "O"}
+    h_shells = parsed["H"]
+    assert len(h_shells) == 1
+    assert h_shells[0][0] == "S"
+    assert len(h_shells[0][1]) == 3
+    o_shells = parsed["O"]
+    assert [s[0] for s in o_shells] == ["S", "L"]
+    # L rows carry (exp, s-coef, p-coef).
+    assert len(o_shells[1][1][0]) == 3
+
+
+def test_registered_basis_reproduces_builtin_energy():
+    """The parsed STO-3G must give the same water energy as the
+    built-in data (same underlying numbers)."""
+    load_gamess_basis("sto-3g-parsed", STO3G_TEXT)
+    b = BasisSet(water(), "sto-3g-parsed")
+    assert b.nbf == 7 and b.nshells == 4
+    e = RHF(b).run().energy
+    assert math.isclose(e, -74.9420799281, abs_tol=1e-5)
+
+
+def test_comment_and_dollar_lines_ignored():
+    text = "! comment\n$DATA\n" + STO3G_TEXT + "\n$END\n"
+    parsed = parse_gamess_basis(text)
+    assert set(parsed) == {"H", "O"}
+
+
+def test_errors():
+    with pytest.raises(BasisParseError):
+        parse_gamess_basis("")
+    with pytest.raises(BasisParseError):
+        parse_gamess_basis("UNOBTAINIUM\nS 1\n 1 1.0 1.0\n")
+    with pytest.raises(BasisParseError):
+        parse_gamess_basis("HYDROGEN\nS 2\n 1 1.0 1.0\n")  # truncated
+    with pytest.raises(BasisParseError):
+        parse_gamess_basis("HYDROGEN\nS 1\n 1 1.0\n")  # missing column
+    with pytest.raises(BasisParseError):
+        parse_gamess_basis("HYDROGEN\n")  # no shells
+
+
+def test_symbol_header_accepted():
+    parsed = parse_gamess_basis("H\nS 1\n 1 1.0 1.0\n")
+    assert "H" in parsed

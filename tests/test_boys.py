@@ -1,0 +1,67 @@
+"""Boys function: known values, recursion identity, asymptotics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.integrals.boys import boys, boys_single
+
+
+def test_f0_zero():
+    # F_m(0) = 1 / (2m + 1).
+    vals = boys(5, 0.0)
+    for m in range(6):
+        assert math.isclose(vals[m], 1.0 / (2 * m + 1), rel_tol=1e-13)
+
+
+def test_f0_known_value():
+    # F_0(x) = sqrt(pi/(4x)) * erf(sqrt(x)).
+    for x in (0.1, 1.0, 5.0, 30.0):
+        expected = math.sqrt(math.pi / (4 * x)) * math.erf(math.sqrt(x))
+        assert math.isclose(boys_single(0, x), expected, rel_tol=1e-12)
+
+
+def test_large_x_asymptotic():
+    # F_m(x) -> (2m-1)!! / (2x)^m * sqrt(pi/(4x)) for large x.
+    x = 80.0
+    f = boys(2, x)
+    f0 = math.sqrt(math.pi / (4 * x))
+    assert math.isclose(f[0], f0, rel_tol=1e-10)
+    assert math.isclose(f[1], f0 / (2 * x), rel_tol=1e-8)
+    assert math.isclose(f[2], 3 * f0 / (2 * x) ** 2, rel_tol=1e-6)
+
+
+def test_vectorized_shape():
+    xs = np.linspace(0, 20, 7).reshape(7)
+    out = boys(3, xs)
+    assert out.shape == (4, 7)
+
+
+def test_negative_argument_raises():
+    with pytest.raises(ValueError):
+        boys(0, -1.0)
+
+
+@given(st.floats(min_value=0.0, max_value=200.0), st.integers(0, 8))
+@settings(max_examples=80, deadline=None)
+def test_recursion_identity(x, m):
+    """Upward recursion: F_{m+1} = ((2m+1) F_m - e^{-x}) / (2x).
+
+    Checked only away from x -> 0, where the upward form is numerically
+    unstable (the very reason the implementation recurses downward).
+    """
+    vals = boys(m + 1, x)
+    if x > 1e-3:
+        lhs = vals[m + 1]
+        rhs = ((2 * m + 1) * vals[m] - math.exp(-x)) / (2 * x)
+        assert math.isclose(lhs, rhs, rel_tol=1e-8, abs_tol=1e-12)
+
+
+@given(st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=60, deadline=None)
+def test_monotone_decreasing_in_m(x):
+    vals = boys(6, x)
+    assert np.all(np.diff(vals) <= 1e-15)
+    assert np.all(vals >= 0)

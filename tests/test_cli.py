@@ -1,0 +1,96 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.chem.molecule import water
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def water_xyz(tmp_path):
+    p = tmp_path / "water.xyz"
+    p.write_text(water().to_xyz())
+    return p
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_scf_command(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--ranks", "2", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-74.94207995" in out
+    assert "shared-fock" in out
+
+
+def test_scf_command_algorithm_choice(water_xyz, capsys):
+    rc = main(
+        ["scf", str(water_xyz), "--algorithm", "mpi-only", "--ranks", "3"]
+    )
+    assert rc == 0
+    assert "mpi-only" in capsys.readouterr().out
+
+
+def test_scf_uhf(tmp_path, capsys):
+    xyz = tmp_path / "h.xyz"
+    xyz.write_text("1\nhydrogen atom\nH 0.0 0.0 0.0\n")
+    rc = main(["scf", str(xyz), "--uhf", "--multiplicity", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-0.46658" in out
+    assert "<S^2>" in out
+
+
+def test_dataset_command(capsys):
+    rc = main(["dataset", "0.5nm"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "44 atoms" in out and "660 basis functions" in out
+
+
+def test_simulate_command(capsys):
+    rc = main(
+        ["simulate", "--dataset", "0.5nm", "--algorithm", "shared-fock",
+         "--nodes", "1", "--system", "jlse"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fock-build time" in out
+
+
+def test_simulate_infeasible(capsys):
+    rc = main(
+        ["simulate", "--dataset", "2.0nm", "--algorithm", "mpi-only",
+         "--nodes", "1", "--system", "jlse", "--memory-mode", "flat-mcdram"]
+    )
+    assert rc == 1
+    assert "INFEASIBLE" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("target", ["table2", "table4"])
+def test_reproduce_tables(target, capsys):
+    rc = main(["reproduce", target])
+    assert rc == 0
+    assert "0.5nm" in capsys.readouterr().out
+
+
+def test_reproduce_fig3(capsys):
+    rc = main(["reproduce", "fig3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "balanced" in out and "compact" in out
+
+
+def test_reproduce_fig6_plot(capsys):
+    rc = main(["reproduce", "fig6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mpi-only" in out and "nodes" in out
+
+
+def test_bad_dataset_rejected():
+    with pytest.raises(SystemExit):
+        main(["dataset", "42nm"])

@@ -1,0 +1,49 @@
+"""CLI 'reproduce' targets that regenerate figures end-to-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_reproduce_table3(capsys):
+    rc = main(["reproduce", "table3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "nodes" in out
+    # All six node counts present.
+    for nodes in ("4", "16", "64", "128", "256", "512"):
+        assert nodes in out
+
+
+def test_reproduce_fig4(capsys):
+    rc = main(["reproduce", "fig4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "hw threads" in out
+    assert "private-fock" in out
+
+
+def test_reproduce_fig5(capsys):
+    rc = main(["reproduce", "fig5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "quadrant" in out and "all-to-all" in out
+    assert "(mem)" in out  # the infeasible flat-MCDRAM stock entries
+
+
+def test_reproduce_fig7(capsys):
+    rc = main(["reproduce", "fig7"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "5.0 nm" in out
+
+
+def test_simulate_mpi_auto_ranks(capsys):
+    rc = main(
+        ["simulate", "--dataset", "2.0nm", "--algorithm", "mpi-only",
+         "--nodes", "4"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "64 ranks/node" in out  # the memory-capped auto choice
+    assert "2661" in out or "26" in out  # near the calibration anchor

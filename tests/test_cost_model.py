@@ -1,0 +1,62 @@
+"""Cost-model unit tests: quartet units, barriers, calibration."""
+
+import math
+
+import pytest
+
+from repro.perfsim.cost_model import (
+    CostModel,
+    calibrated_cost_model,
+    eri_quartet_units,
+)
+
+
+def test_quartet_units_positive_and_monotone_in_l():
+    """More angular momentum -> more work, everything else fixed."""
+    prev = 0.0
+    for l in range(5):
+        units = eri_quartet_units(1, 1, l, 1, 1, 0)
+        assert units > prev
+        prev = units
+
+
+def test_quartet_units_scale_with_primitives():
+    base = eri_quartet_units(4, 3, 1, 4, 3, 1)
+    double = eri_quartet_units(4, 6, 1, 4, 3, 1)
+    assert double > 1.8 * base  # primitive count enters multiplicatively
+
+
+def test_quartet_units_bra_ket_symmetric():
+    a = eri_quartet_units(4, 3, 1, 6, 1, 2)
+    b = eri_quartet_units(6, 1, 2, 4, 3, 1)
+    assert math.isclose(a, b, rel_tol=1e-12)
+
+
+def test_barrier_seconds():
+    cm = CostModel()
+    assert cm.barrier_seconds(1) == 0.0
+    b2 = cm.barrier_seconds(2)
+    b64 = cm.barrier_seconds(64)
+    assert b64 == pytest.approx(6 * b2)
+    assert cm.barrier_seconds(64, coherency=2.0) == pytest.approx(2 * b64)
+
+
+def test_with_scale_preserves_other_fields():
+    cm = CostModel()
+    cm2 = cm.with_scale(5e-11)
+    assert cm2.seconds_per_unit == 5e-11
+    assert cm2.bytes_per_unit == cm.bytes_per_unit
+    assert cm2.scf_iterations == cm.scf_iterations
+
+
+def test_calibration_is_cached():
+    a = calibrated_cost_model()
+    b = calibrated_cost_model()
+    assert a is b
+
+
+def test_calibration_anchor_value():
+    """The calibrated scale is a physically sensible per-flop time."""
+    cm = calibrated_cost_model()
+    # One KNL core-thread executing ~1-100 Gflop-equivalent/s.
+    assert 1e-12 < cm.seconds_per_unit < 1e-9

@@ -1,0 +1,110 @@
+"""Simulated DDI: distributed arrays, one-sided access, modes."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.ddi import DDIArray, DDIMode, DDIRuntime
+
+
+@pytest.fixture()
+def runtime():
+    return DDIRuntime(4)
+
+
+def test_distribution_covers_all_columns(runtime):
+    arr = runtime.create(10, 13)
+    cols = []
+    for r in range(4):
+        cols.extend(arr.local_columns(r))
+    assert cols == list(range(13))
+
+
+def test_owner_of_column(runtime):
+    arr = runtime.create(4, 8)  # 2 columns per rank
+    assert arr.owner_of_column(0) == 0
+    assert arr.owner_of_column(7) == 3
+    with pytest.raises(IndexError):
+        arr.owner_of_column(8)
+
+
+def test_put_get_roundtrip(runtime):
+    arr = runtime.create(6, 9)
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((3, 5))
+    arr.put(0, slice(1, 4), slice(2, 7), data)
+    out = arr.get(2, slice(1, 4), slice(2, 7))
+    np.testing.assert_allclose(out, data)
+
+
+def test_acc_accumulates(runtime):
+    arr = runtime.create(4, 4)
+    ones = np.ones((4, 4))
+    arr.acc(0, slice(0, 4), slice(0, 4), ones)
+    arr.acc(1, slice(0, 4), slice(0, 4), 2 * ones)
+    np.testing.assert_allclose(arr.to_dense(), 3.0)
+
+
+def test_cross_boundary_patch(runtime):
+    """A patch spanning several owners is reassembled correctly."""
+    arr = runtime.create(3, 12)
+    data = np.arange(36, dtype=float).reshape(3, 12)
+    arr.put(0, slice(0, 3), slice(0, 12), data)
+    np.testing.assert_allclose(arr.to_dense(), data)
+    np.testing.assert_allclose(
+        arr.get(3, slice(0, 3), slice(2, 11)), data[:, 2:11]
+    )
+
+
+def test_traffic_metering(runtime):
+    arr = runtime.create(4, 8)
+    arr.put(0, slice(0, 4), slice(0, 8), np.zeros((4, 8)))
+    assert runtime.stats.puts == 1
+    assert runtime.stats.bytes_moved == 4 * 8 * 8
+    # Rank 0 owns columns 0-1: 3/4 of the bytes were remote.
+    assert runtime.stats.remote_fraction_weighted == 4 * 6 * 8
+
+
+def test_data_server_mode_process_and_memory():
+    legacy = DDIRuntime(8, mode="data-server")
+    modern = DDIRuntime(8, mode=DDIMode.MPI3)
+    assert legacy.total_processes == 16
+    assert modern.total_processes == 8
+    assert legacy.replicated_memory_factor() == 2.0
+    assert modern.replicated_memory_factor() == 1.0
+
+
+def test_distributed_words_accounting(runtime):
+    runtime.create(100, 100)
+    runtime.create(10, 10)
+    assert runtime.distributed_words() == 100 * 100 + 10 * 10
+
+
+def test_dlb_interface(runtime):
+    runtime.dlb_reset(10)
+    seen = []
+    for r in range(4):
+        while (t := runtime.dlbnext(r)) is not None:
+            seen.append(t)
+    assert sorted(seen) == list(range(10))
+
+
+def test_dlbnext_requires_reset():
+    rt = DDIRuntime(2)
+    with pytest.raises(RuntimeError):
+        rt.dlbnext(0)
+
+
+def test_gsumf(runtime):
+    bufs = [np.full(3, float(r)) for r in range(4)]
+    runtime.gsumf(bufs)
+    for b in bufs:
+        np.testing.assert_allclose(b, 6.0)
+    with pytest.raises(ValueError):
+        runtime.gsumf([np.zeros(1)])
+
+
+def test_invalid_dimensions(runtime):
+    with pytest.raises(ValueError):
+        runtime.create(0, 5)
+    with pytest.raises(ValueError):
+        DDIRuntime(0)

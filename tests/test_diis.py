@@ -1,0 +1,60 @@
+"""DIIS extrapolation unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.scf.diis import DIIS
+
+
+def test_needs_two_vectors():
+    with pytest.raises(ValueError):
+        DIIS(max_vectors=1)
+
+
+def test_single_vector_passthrough():
+    d = DIIS()
+    f = np.eye(3)
+    d.push(f, np.ones((3, 3)))
+    np.testing.assert_array_equal(d.extrapolate(), f)
+
+
+def test_coefficients_sum_to_one():
+    """DIIS coefficients satisfy sum(c) = 1: extrapolating identical
+    Fock matrices returns the same matrix."""
+    rng = np.random.default_rng(1)
+    f = rng.standard_normal((4, 4))
+    d = DIIS()
+    for scale in (1.0, 0.5, 0.1):
+        d.push(f, scale * rng.standard_normal((4, 4)))
+    np.testing.assert_allclose(d.extrapolate(), f, atol=1e-8)
+
+
+def test_exact_error_cancellation():
+    """Two iterates with opposite errors: DIIS finds the midpoint."""
+    f1, f2 = np.diag([1.0, 0.0]), np.diag([0.0, 1.0])
+    e = np.array([[1.0, 0.0], [0.0, 0.0]])
+    d = DIIS()
+    d.push(f1, e)
+    d.push(f2, -e)
+    out = d.extrapolate()
+    np.testing.assert_allclose(out, 0.5 * (f1 + f2), atol=1e-12)
+
+
+def test_window_is_bounded():
+    d = DIIS(max_vectors=3)
+    for i in range(10):
+        d.push(np.full((2, 2), float(i)), np.full((2, 2), float(i + 1)))
+    assert d.nvectors == 3
+
+
+def test_error_vector_antisymmetric_structure():
+    """The orthogonalized commutator vanishes for commuting F, D."""
+    rng = np.random.default_rng(3)
+    s = np.eye(4)
+    x = np.eye(4)
+    f = rng.standard_normal((4, 4))
+    f = f + f.T
+    evals, evecs = np.linalg.eigh(f)
+    d = evecs[:, :2] @ evecs[:, :2].T  # spectral projector commutes with f
+    err = DIIS.error_vector(f, d, s, x)
+    assert np.max(np.abs(err)) < 1e-10

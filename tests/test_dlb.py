@@ -1,0 +1,75 @@
+"""Dynamic load balancer: grant policies and partition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.dlb import DynamicLoadBalancer
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=1, max_value=17),
+    st.sampled_from(["round_robin", "block"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_is_exact(ntasks, nranks, policy):
+    """Every task index granted exactly once, none invented."""
+    dlb = DynamicLoadBalancer(ntasks, nranks, policy=policy)
+    seen = []
+    for r in range(nranks):
+        seen.extend(dlb.iter_rank(r))
+    assert sorted(seen) == list(range(ntasks))
+
+
+def test_round_robin_layout():
+    dlb = DynamicLoadBalancer(7, 3)
+    assert dlb.assignment() == [[0, 3, 6], [1, 4], [2, 5]]
+
+
+def test_block_layout():
+    dlb = DynamicLoadBalancer(6, 2, policy="block")
+    assert dlb.assignment() == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_cost_greedy_balances_loads():
+    rng = np.random.default_rng(0)
+    costs = rng.lognormal(0, 2, 500)
+    dlb = DynamicLoadBalancer(500, 8, policy="cost_greedy", costs=costs)
+    loads = [costs[q].sum() for q in dlb.assignment()]
+    rr = DynamicLoadBalancer(500, 8, policy="round_robin")
+    rr_loads = [costs[q].sum() for q in rr.assignment()]
+    assert max(loads) / np.mean(loads) <= max(rr_loads) / np.mean(rr_loads) + 1e-9
+
+
+def test_cost_greedy_requires_costs():
+    with pytest.raises(ValueError):
+        DynamicLoadBalancer(10, 2, policy="cost_greedy")
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(ValueError):
+        DynamicLoadBalancer(10, 2, policy="lottery")
+
+
+def test_next_exhaustion_and_reset():
+    dlb = DynamicLoadBalancer(3, 2)
+    assert dlb.next(0) == 0
+    assert dlb.next(0) == 2
+    assert dlb.next(0) is None
+    dlb.reset()
+    assert dlb.next(0) == 0
+
+
+def test_rank_grants_ascending():
+    """Each rank walks its tasks in ascending combined-index order —
+    required by the shared-Fock flush-on-i-change logic."""
+    costs = np.random.default_rng(1).random(100)
+    for policy, kw in (
+        ("round_robin", {}),
+        ("block", {}),
+        ("cost_greedy", {"costs": costs}),
+    ):
+        dlb = DynamicLoadBalancer(100, 7, policy=policy, **kw)
+        for q in dlb.assignment():
+            assert q == sorted(q)

@@ -1,0 +1,95 @@
+"""Extension features: Xeon portability, crossover mapping, damping."""
+
+import math
+
+import pytest
+
+from repro.machine.knl import XEON_BDW_2697, XEON_PHI_7230
+from repro.machine.system import THETA, XEON_CLUSTER
+from repro.perfsim.cost_model import calibrated_cost_model
+from repro.perfsim.scaling import crossover_nodes
+from repro.perfsim.simulate import RunConfig, simulate_fock_build
+from repro.perfsim.workload import Workload
+from repro.scf.rhf import RHF
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return calibrated_cost_model()
+
+
+class TestXeonPortability:
+    """Paper conclusion: the optimizations also help on plain Xeons."""
+
+    def test_xeon_node_spec(self):
+        assert XEON_BDW_2697.ncores == 36
+        assert XEON_BDW_2697.threads_per_core == 2
+        # One flat memory level: MCDRAM parameters alias DDR.
+        assert XEON_BDW_2697.mcdram_bw_gbs == XEON_BDW_2697.ddr_bw_gbs
+
+    def test_hybrid_still_beats_stock_on_xeon(self, cost):
+        wl = Workload.for_dataset("1.0nm")
+        stock = simulate_fock_build(
+            wl, RunConfig.mpi_only(system=XEON_CLUSTER, nodes=8), cost
+        )
+        hybrid = simulate_fock_build(
+            wl,
+            RunConfig.hybrid("shared-fock", system=XEON_CLUSTER, nodes=8,
+                             ranks_per_node=2, threads_per_rank=36),
+            cost,
+        )
+        assert stock.feasible and hybrid.feasible
+        assert hybrid.total_seconds < stock.total_seconds
+
+    def test_gain_smaller_on_xeon_than_knl(self, cost):
+        """The many-core Phi benefits more from the hybrid scheme."""
+        wl = Workload.for_dataset("1.0nm")
+
+        def ratio(system, threads, rpn_hybrid):
+            stock = simulate_fock_build(
+                wl, RunConfig.mpi_only(system=system, nodes=8), cost
+            ).total_seconds
+            hyb = simulate_fock_build(
+                wl,
+                RunConfig.hybrid("shared-fock", system=system, nodes=8,
+                                 ranks_per_node=rpn_hybrid,
+                                 threads_per_rank=threads),
+                cost,
+            ).total_seconds
+            return stock / hyb
+
+        assert ratio(THETA, 64, 4) > ratio(XEON_CLUSTER, 36, 2)
+
+
+class TestCrossoverMapping:
+    def test_2nm_crossover_near_paper(self, cost):
+        wl = Workload.for_dataset("2.0nm")
+        x = crossover_nodes(wl, cost)
+        assert x is not None
+        assert 16 <= x <= 128  # paper's Table 3 shows it by 128
+
+    def test_smaller_dataset_crosses_earlier_or_equal(self, cost):
+        """Fewer shells -> private Fock starves sooner."""
+        x_small = crossover_nodes(Workload.for_dataset("1.0nm"), cost)
+        x_large = crossover_nodes(Workload.for_dataset("2.0nm"), cost)
+        assert x_small is not None and x_large is not None
+        assert x_small <= x_large
+
+
+class TestDamping:
+    def test_damped_scf_converges_to_same_energy(self, water_sto3g):
+        plain = RHF(water_sto3g).run()
+        damped = RHF(water_sto3g, damping=0.3).run()
+        assert damped.converged
+        assert math.isclose(damped.energy, plain.energy, abs_tol=1e-8)
+
+    def test_damping_without_diis(self, water_sto3g):
+        res = RHF(water_sto3g, use_diis=False, damping=0.2).run()
+        assert res.converged
+        assert math.isclose(res.energy, -74.9420799281, abs_tol=1e-6)
+
+    def test_invalid_damping_rejected(self, water_sto3g):
+        with pytest.raises(ValueError):
+            RHF(water_sto3g, damping=1.5)
+        with pytest.raises(ValueError):
+            RHF(water_sto3g, damping=0.0)

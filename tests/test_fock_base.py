@@ -1,0 +1,42 @@
+"""FockBuildStats accounting and builder-base validation."""
+
+import pytest
+
+from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+
+
+def test_stats_totals():
+    s = FockBuildStats("x", 2, 4, quartets_computed=10, quartets_screened=5)
+    assert s.total_quartets == 15
+
+
+def test_rank_imbalance():
+    s = FockBuildStats("x", 4, 1, per_rank_quartets=[10, 10, 10, 30])
+    assert s.rank_imbalance == pytest.approx(30 / 15)
+    empty = FockBuildStats("x", 4, 1)
+    assert empty.rank_imbalance == 1.0
+    zeros = FockBuildStats("x", 2, 1, per_rank_quartets=[0, 0])
+    assert zeros.rank_imbalance == 1.0
+
+
+def test_base_validates_geometry(water_sto3g):
+    h = kinetic_matrix(water_sto3g) + nuclear_matrix(water_sto3g)
+    with pytest.raises(ValueError):
+        ParallelFockBuilderBase(water_sto3g, h, nranks=0)
+    with pytest.raises(ValueError):
+        ParallelFockBuilderBase(water_sto3g, h, nthreads=0)
+
+
+def test_base_builds_exact_schwarz_by_default(water_sto3g):
+    h = kinetic_matrix(water_sto3g) + nuclear_matrix(water_sto3g)
+    b = ParallelFockBuilderBase(water_sto3g, h)
+    assert b.screening.nshells == water_sto3g.nshells
+    assert b.screening.qmax > 0
+
+
+def test_tracker_only_when_requested(water_sto3g):
+    h = kinetic_matrix(water_sto3g) + nuclear_matrix(water_sto3g)
+    assert ParallelFockBuilderBase(water_sto3g, h)._new_tracker() is None
+    b = ParallelFockBuilderBase(water_sto3g, h, track_races=True)
+    assert b._new_tracker() is not None

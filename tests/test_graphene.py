@@ -1,0 +1,82 @@
+"""Graphene dataset generator: paper sizes, lattice geometry, stacking."""
+
+import numpy as np
+import pytest
+
+from repro.chem.graphene import (
+    CC_BOND,
+    INTERLAYER,
+    PAPER_DATASETS,
+    bilayer_graphene,
+    paper_dataset,
+)
+from repro.constants import BOHR_TO_ANGSTROM
+
+
+@pytest.mark.parametrize(
+    "label,natoms,nshells,nbf",
+    [
+        ("0.5nm", 44, 176, 660),
+        ("1.0nm", 120, 480, 1800),
+        ("1.5nm", 220, 880, 3300),
+        ("2.0nm", 356, 1424, 5340),
+        ("5.0nm", 2016, 8064, 30240),
+    ],
+)
+def test_paper_table4_sizes(label, natoms, nshells, nbf):
+    spec = PAPER_DATASETS[label]
+    assert spec.natoms == natoms
+    assert spec.nshells == nshells
+    assert spec.nbf == nbf
+
+
+def test_generated_atom_counts_match_spec():
+    for label in ("0.5nm", "1.0nm"):
+        mol = paper_dataset(label)
+        assert mol.natoms == PAPER_DATASETS[label].natoms
+        assert all(s == "C" for s in mol.symbols)
+
+
+def test_unknown_label_raises():
+    with pytest.raises(KeyError):
+        paper_dataset("3.7nm")
+
+
+def test_bilayer_has_two_layers():
+    mol = bilayer_graphene(10)
+    z = mol.coords[:, 2] * BOHR_TO_ANGSTROM
+    lower = np.isclose(z, 0.0, atol=1e-6)
+    upper = np.isclose(z, INTERLAYER, atol=1e-6)
+    assert lower.sum() == 10
+    assert upper.sum() == 10
+
+
+def test_nearest_neighbor_distance_is_cc_bond():
+    mol = bilayer_graphene(30)
+    d = mol.distance_matrix() * BOHR_TO_ANGSTROM
+    layer = d[:30, :30].copy()
+    np.fill_diagonal(layer, np.inf)
+    # Every atom in a compact patch has at least one in-plane neighbour
+    # at the C-C bond length.
+    assert np.allclose(layer.min(axis=0).min(), CC_BOND, atol=1e-6)
+    assert np.all(layer.min(axis=1) < CC_BOND + 0.01)
+
+
+def test_determinism():
+    a = bilayer_graphene(22)
+    b = bilayer_graphene(22)
+    np.testing.assert_array_equal(a.coords, b.coords)
+
+
+def test_patch_is_compact():
+    # The selected 22-atom patch should have a diameter of roughly the
+    # labelled size (~0.5-1 nm scale), not a long ribbon.
+    mol = bilayer_graphene(22)
+    xy = mol.coords[:22, :2] * BOHR_TO_ANGSTROM
+    extent = xy.max(axis=0) - xy.min(axis=0)
+    assert np.all(extent < 12.0)
+
+
+def test_invalid_size_raises():
+    with pytest.raises(ValueError):
+        bilayer_graphene(0)

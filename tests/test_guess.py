@@ -1,0 +1,52 @@
+"""Orthogonalization and initial-guess utilities."""
+
+import numpy as np
+
+from repro.integrals.onee import overlap_matrix
+from repro.scf.guess import (
+    core_guess_density,
+    density_from_coefficients,
+    diagonalize_fock,
+    orthogonalizer,
+)
+
+
+def test_orthogonalizer_inverts_overlap(water_sto3g):
+    s = overlap_matrix(water_sto3g)
+    x = orthogonalizer(s)
+    np.testing.assert_allclose(x.T @ s @ x, np.eye(s.shape[0]), atol=1e-10)
+
+
+def test_orthogonalizer_symmetric(water_sto3g):
+    s = overlap_matrix(water_sto3g)
+    x = orthogonalizer(s)
+    np.testing.assert_allclose(x, x.T, atol=1e-12)
+
+
+def test_diagonalize_fock_orthonormal_mos(water_sto3g):
+    s = overlap_matrix(water_sto3g)
+    x = orthogonalizer(s)
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal(s.shape)
+    f = f + f.T
+    eps, c = diagonalize_fock(f, x)
+    np.testing.assert_allclose(c.T @ s @ c, np.eye(s.shape[0]), atol=1e-10)
+    # Roothaan equations hold: F C = S C eps.
+    np.testing.assert_allclose(f @ c, s @ c @ np.diag(eps), atol=1e-9)
+
+
+def test_density_from_coefficients_rank():
+    rng = np.random.default_rng(5)
+    c = rng.standard_normal((6, 6))
+    d = density_from_coefficients(c, 2)
+    assert np.linalg.matrix_rank(d) == 2
+    np.testing.assert_allclose(d, d.T, atol=1e-14)
+
+
+def test_core_guess_trace(water_sto3g):
+    from repro.integrals.onee import core_hamiltonian
+
+    s = overlap_matrix(water_sto3g)
+    h = core_hamiltonian(water_sto3g)
+    d = core_guess_density(h, s, nocc=5)
+    assert np.isclose(np.trace(d @ s), 10.0, atol=1e-10)

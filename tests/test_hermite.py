@@ -1,0 +1,89 @@
+"""McMurchie-Davidson building blocks."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.integrals.hermite import (
+    e_coefficients_1d,
+    e_coefficients_3d,
+    hermite_coulomb,
+)
+from repro.integrals.boys import boys
+
+
+def test_e000_is_gaussian_product_prefactor():
+    a, b = 0.9, 0.4
+    A, B = 0.3, -0.8
+    p = a + b
+    mu = a * b / p
+    P = (a * A + b * B) / p
+    E = e_coefficients_1d(0, 0, P - A, P - B, p, mu * (A - B) ** 2)
+    assert math.isclose(E[0, 0, 0], math.exp(-mu * (A - B) ** 2), rel_tol=1e-14)
+
+
+def test_e_overlap_ss():
+    # s-s overlap: S = E_0^{00} (pi/p)^(1/2) per axis.
+    a, b = 1.1, 0.7
+    A = np.array([0.0, 0.0, 0.0])
+    B = np.array([0.0, 0.0, 1.2])
+    Ex, Ey, Ez = e_coefficients_3d(0, 0, a, b, A, B)
+    p = a + b
+    s = Ex[0, 0, 0] * Ey[0, 0, 0] * Ez[0, 0, 0] * (math.pi / p) ** 1.5
+    mu = a * b / p
+    expected = (math.pi / p) ** 1.5 * math.exp(-mu * 1.2 ** 2)
+    assert math.isclose(s, expected, rel_tol=1e-13)
+
+
+def test_e_coefficients_t_bounds():
+    E = e_coefficients_1d(3, 2, 0.4, -0.2, 1.5, 0.3)
+    # E_t^{ij} must vanish for t > i + j.
+    for i in range(4):
+        for j in range(3):
+            for t in range(i + j + 1, 6):
+                assert E[i, j, t] == 0.0
+
+
+def test_hermite_coulomb_r000():
+    # R_000 = F_0(p * |PC|^2).
+    p = 0.8
+    PC = np.array([0.3, -0.4, 1.0])
+    R = hermite_coulomb(0, p, PC)
+    x = p * float(PC @ PC)
+    assert math.isclose(R[0, 0, 0], boys(0, x)[0], rel_tol=1e-13)
+
+
+def test_hermite_coulomb_symmetry_in_sign():
+    # R_{tuv}(PC) picks up (-1)^(t+u+v) under PC -> -PC.
+    p = 1.3
+    PC = np.array([0.5, 0.2, -0.7])
+    R1 = hermite_coulomb(3, p, PC)
+    R2 = hermite_coulomb(3, p, -PC)
+    for t in range(4):
+        for u in range(4 - t):
+            for v in range(4 - t - u):
+                assert math.isclose(
+                    R1[t, u, v], (-1) ** (t + u + v) * R2[t, u, v],
+                    rel_tol=1e-10, abs_tol=1e-13,
+                )
+
+
+@given(
+    st.floats(min_value=0.1, max_value=5.0),
+    st.floats(min_value=0.1, max_value=5.0),
+    st.floats(min_value=-2.0, max_value=2.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_e_symmetry_under_exchange(a, b, dx):
+    """E_t^{ij}(a, A; b, B) == E_t^{ji}(b, B; a, A)."""
+    A = np.array([0.0, 0.0, 0.0])
+    B = np.array([dx, 0.0, 0.0])
+    E_ab = e_coefficients_3d(2, 2, a, b, A, B)[0]
+    E_ba = e_coefficients_3d(2, 2, b, a, B, A)[0]
+    for i in range(3):
+        for j in range(3):
+            for t in range(i + j + 1):
+                assert math.isclose(
+                    E_ab[i, j, t], E_ba[j, i, t], rel_tol=1e-9, abs_tol=1e-12
+                )

@@ -1,0 +1,79 @@
+"""Molecule container: units, derived quantities, XYZ round trip."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.molecule import Molecule, hydrogen_molecule, methane, water
+from repro.constants import ANGSTROM_TO_BOHR
+
+
+def test_unit_conversion_on_construction():
+    m_ang = Molecule(["H"], [(1.0, 0.0, 0.0)], units="angstrom")
+    m_bohr = Molecule(["H"], [(ANGSTROM_TO_BOHR, 0.0, 0.0)], units="bohr")
+    np.testing.assert_allclose(m_ang.coords, m_bohr.coords, rtol=1e-14)
+
+
+def test_bad_units_raise():
+    with pytest.raises(ValueError):
+        Molecule(["H"], [(0, 0, 0)], units="parsec")
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        Molecule(["H"], [(0, 0)])
+    with pytest.raises(ValueError):
+        Molecule(["H", "H"], [(0, 0, 0)])
+
+
+def test_electron_count_with_charge():
+    w = water()
+    assert w.nelectrons == 10
+    cation = Molecule(w.symbols, w.coords, charge=1)
+    assert cation.nelectrons == 9
+
+
+def test_nuclear_repulsion_h2():
+    # Two protons at 1.4 bohr: E = 1/1.4.
+    h2 = hydrogen_molecule(1.4)
+    assert math.isclose(h2.nuclear_repulsion(), 1.0 / 1.4, rel_tol=1e-14)
+
+
+def test_nuclear_repulsion_water_reference():
+    # Crawford-project value for this geometry: 8.002367061810450 Eh.
+    assert math.isclose(
+        water().nuclear_repulsion(), 8.002367061810450, rel_tol=1e-10
+    )
+
+
+def test_distance_matrix_symmetry():
+    m = methane()
+    d = m.distance_matrix()
+    np.testing.assert_allclose(d, d.T, atol=1e-14)
+    assert np.all(np.diag(d) == 0)
+
+
+def test_coords_read_only():
+    m = water()
+    with pytest.raises(ValueError):
+        m.coords[0, 0] = 99.0
+
+
+def test_xyz_roundtrip():
+    m = methane()
+    text = m.to_xyz()
+    m2 = Molecule.from_xyz(text)
+    assert m2.natoms == m.natoms
+    assert m2.symbols == m.symbols
+    np.testing.assert_allclose(m2.coords, m.coords, atol=1e-9)
+
+
+def test_xyz_malformed_raises():
+    with pytest.raises(ValueError):
+        Molecule.from_xyz("3\ncomment\nH 0 0 0\n")
+
+
+def test_center_of_mass_symmetric():
+    h2 = hydrogen_molecule(2.0)
+    np.testing.assert_allclose(h2.center_of_mass(), [0, 0, 1.0], atol=1e-12)

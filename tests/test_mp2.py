@@ -1,0 +1,68 @@
+"""MP2 on top of RHF: literature value and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.molecule import hydrogen_molecule
+from repro.scf.mp2 import ao_to_mo_ovov, mp2_energy
+from repro.scf.rhf import RHF
+
+
+@pytest.fixture(scope="module")
+def water_scf(water_sto3g):
+    return RHF(water_sto3g).run()
+
+
+def test_water_sto3g_crawford_reference(water_sto3g, water_scf):
+    """Crawford project: E_MP2(H2O/STO-3G) = -0.049149636120 Eh."""
+    res = mp2_energy(water_sto3g, water_scf)
+    assert math.isclose(res.correlation_energy, -0.049149636120, abs_tol=1e-8)
+    assert math.isclose(
+        res.total_energy, water_scf.energy + res.correlation_energy,
+        rel_tol=1e-14,
+    )
+
+
+def test_correlation_energy_negative(water_sto3g, water_scf):
+    res = mp2_energy(water_sto3g, water_scf)
+    assert res.correlation_energy < 0
+    assert res.same_spin < 0 and res.opposite_spin < 0
+
+
+def test_spin_components_sum(water_sto3g, water_scf):
+    res = mp2_energy(water_sto3g, water_scf)
+    assert math.isclose(
+        res.same_spin + res.opposite_spin, res.correlation_energy,
+        rel_tol=1e-12,
+    )
+    # SCS-MP2 is a different, finite number.
+    assert res.scs_mp2_correlation < 0
+
+
+def test_h2_mp2():
+    """H2/STO-3G: one pair, correlation ~ -0.013 Eh near equilibrium."""
+    b = BasisSet(hydrogen_molecule(1.4), "sto-3g")
+    scf = RHF(b).run()
+    res = mp2_energy(b, scf)
+    assert -0.05 < res.correlation_energy < -0.005
+
+
+def test_mo_transform_symmetry(water_sto3g, water_scf):
+    """(ia|jb) == (jb|ia) in the transformed block."""
+    from repro.scf.fock_dense import eri_tensor
+
+    ovov = ao_to_mo_ovov(eri_tensor(water_sto3g), water_scf.coefficients, 5)
+    np.testing.assert_allclose(
+        ovov, ovov.transpose(2, 3, 0, 1), atol=1e-10
+    )
+
+
+def test_requires_converged_reference(water_sto3g, water_scf):
+    import dataclasses
+
+    broken = dataclasses.replace(water_scf, converged=False)
+    with pytest.raises(ValueError):
+        mp2_energy(water_sto3g, broken)

@@ -1,0 +1,74 @@
+"""Simulated MPI world: collectives, metering, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import SimWorld
+
+
+def test_world_size_validation():
+    with pytest.raises(ValueError):
+        SimWorld(0)
+
+
+def test_gsumf_sums_across_ranks():
+    world = SimWorld(4)
+    bufs = []
+
+    def rank_main(comm):
+        buf = np.full(3, float(comm.rank + 1))
+        bufs.append(buf)
+        comm.gsumf(buf)
+
+    world.execute(rank_main)
+    for buf in bufs:
+        np.testing.assert_array_equal(buf, [10.0, 10.0, 10.0])
+
+
+def test_multiple_reductions_in_order():
+    world = SimWorld(2)
+    seen = []
+
+    def rank_main(comm):
+        a = np.array([float(comm.rank)])
+        b = np.array([10.0 * comm.rank])
+        comm.gsumf(a)
+        comm.gsumf(b)
+        seen.append((a, b))
+
+    world.execute(rank_main)
+    for a, b in seen:
+        assert a[0] == 1.0
+        assert b[0] == 10.0
+
+
+def test_mismatched_collectives_raise():
+    world = SimWorld(2)
+
+    def rank_main(comm):
+        if comm.rank == 0:
+            comm.gsumf(np.zeros(1))
+
+    with pytest.raises(RuntimeError):
+        world.execute(rank_main)
+
+
+def test_stats_metering():
+    world = SimWorld(3)
+
+    def rank_main(comm):
+        comm.barrier()
+        comm.bcast(np.zeros(10))
+        comm.gsumf(np.zeros(5))
+
+    world.execute(rank_main)
+    assert world.stats.barrier_calls == 3
+    assert world.stats.bcast_calls == 3
+    assert world.stats.reduce_calls == 3
+    assert world.stats.reduce_bytes == 3 * 5 * 8
+
+
+def test_rank_identity():
+    world = SimWorld(5)
+    ranks = world.execute(lambda c: (c.Get_rank(), c.Get_size()))
+    assert ranks == [(r, 5) for r in range(5)]

@@ -1,0 +1,52 @@
+"""ASCII plotting."""
+
+import math
+
+from repro.analysis.figures import Series
+from repro.analysis.plots import ascii_loglog
+
+
+def _series(label, xs, ys, feas=None):
+    return Series(label=label, x=list(xs), seconds=list(ys),
+                  feasible=list(feas) if feas else [])
+
+
+def test_basic_render():
+    s = _series("a", [1, 10, 100], [100.0, 10.0, 1.0])
+    out = ascii_loglog([s], title="t")
+    assert out.startswith("t")
+    assert "o = a" in out
+    assert out.count("o") >= 3
+
+
+def test_multiple_series_markers():
+    s1 = _series("one", [1, 10], [10.0, 1.0])
+    s2 = _series("two", [1, 10], [20.0, 2.0])
+    out = ascii_loglog([s1, s2])
+    assert "o = one" in out and "x = two" in out
+
+
+def test_infeasible_points_skipped():
+    s = _series("a", [1, 10, 100], [10.0, 5.0, math.inf],
+                feas=[True, True, False])
+    out = ascii_loglog([s])
+    assert "inf" not in out
+
+
+def test_empty_series():
+    s = _series("a", [], [])
+    out = ascii_loglog([s], title="empty")
+    assert "(no data)" in out
+
+
+def test_single_point():
+    s = _series("a", [4], [2661.0])
+    out = ascii_loglog([s])
+    assert "o" in out
+
+
+def test_dimensions_bounded():
+    s = _series("a", [1, 2, 4, 8, 16], [16.0, 8.0, 4.0, 2.0, 1.0])
+    out = ascii_loglog([s], width=40, height=10)
+    lines = out.splitlines()
+    assert all(len(ln) < 70 for ln in lines)

@@ -1,0 +1,94 @@
+"""Dipole integrals, Mulliken analysis, orbital properties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.molecule import Molecule, hydrogen_molecule, water
+from repro.integrals.multipole import dipole_matrices
+from repro.integrals.onee import overlap_matrix
+from repro.scf.properties import (
+    AU_TO_DEBYE,
+    dipole_moment,
+    homo_lumo_gap,
+    koopmans_ionization_potential,
+    mulliken_populations,
+)
+from repro.scf.rhf import RHF
+
+
+def test_dipole_matrices_symmetric(water_sto3g):
+    mu = dipole_matrices(water_sto3g)
+    assert mu.shape == (3, 7, 7)
+    for d in range(3):
+        np.testing.assert_allclose(mu[d], mu[d].T, atol=1e-12)
+
+
+def test_dipole_first_moment_of_s_function():
+    """<s|x|s> for an s function at position A equals A_x (times <s|s>)."""
+    mol = Molecule(["H"], [(0.7, -0.3, 1.1)], units="bohr")
+    b = BasisSet(mol, "sto-3g")
+    mu = dipole_matrices(b)
+    s = overlap_matrix(b)
+    np.testing.assert_allclose(
+        [mu[d, 0, 0] / s[0, 0] for d in range(3)],
+        [0.7, -0.3, 1.1],
+        atol=1e-10,
+    )
+
+
+def test_origin_shift_for_charged_vs_neutral(water_sto3g):
+    """Neutral molecule: total dipole independent of expansion origin."""
+    res = RHF(water_sto3g).run()
+    mu0 = dipole_moment(water_sto3g, res.density)
+    mu1 = dipole_moment(
+        water_sto3g, res.density, origin=np.array([1.0, 2.0, -3.0])
+    )
+    np.testing.assert_allclose(mu0, mu1, atol=1e-8)
+
+
+def test_water_dipole_magnitude(water_sto3g):
+    """HF/STO-3G water dipole ~ 1.7 Debye, along the C2 axis."""
+    res = RHF(water_sto3g).run()
+    mu = dipole_moment(water_sto3g, res.density)
+    debye = np.linalg.norm(mu) * AU_TO_DEBYE
+    assert 1.2 < debye < 2.2
+    # Symmetry: x and z components vanish for this orientation.
+    assert abs(mu[0]) < 1e-8 and abs(mu[2]) < 1e-8
+
+
+def test_h2_dipole_zero():
+    b = BasisSet(hydrogen_molecule(1.4), "sto-3g")
+    res = RHF(b).run()
+    mu = dipole_moment(b, res.density)
+    np.testing.assert_allclose(mu, 0.0, atol=1e-9)
+
+
+def test_mulliken_conserves_electrons(water_sto3g):
+    res = RHF(water_sto3g).run()
+    ana = mulliken_populations(water_sto3g, res.density)
+    assert math.isclose(ana.total_electrons(), 10.0, abs_tol=1e-8)
+    assert math.isclose(float(ana.charges.sum()), 0.0, abs_tol=1e-8)
+
+
+def test_mulliken_water_polarity(water_sto3g):
+    """Oxygen negative, hydrogens positive and equal by symmetry."""
+    res = RHF(water_sto3g).run()
+    ana = mulliken_populations(water_sto3g, res.density)
+    assert ana.charges[0] < -0.1
+    assert ana.charges[1] > 0.05
+    assert math.isclose(ana.charges[1], ana.charges[2], abs_tol=1e-8)
+
+
+def test_orbital_properties(water_sto3g):
+    res = RHF(water_sto3g).run()
+    gap = homo_lumo_gap(res.orbital_energies, 5)
+    assert gap > 0.3
+    ip = koopmans_ionization_potential(res.orbital_energies, 5)
+    assert 0.2 < ip < 1.0
+    with pytest.raises(ValueError):
+        homo_lumo_gap(res.orbital_energies, 0)
+    with pytest.raises(ValueError):
+        koopmans_ionization_potential(res.orbital_energies, 0)

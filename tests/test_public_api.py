@@ -1,0 +1,111 @@
+"""Public-API hygiene: imports, __all__ integrity, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.chem",
+    "repro.chem.basis",
+    "repro.integrals",
+    "repro.scf",
+    "repro.parallel",
+    "repro.core",
+    "repro.machine",
+    "repro.perfsim",
+    "repro.analysis",
+]
+
+MODULES = [
+    "repro.constants",
+    "repro.cli",
+    "repro.chem.elements",
+    "repro.chem.molecule",
+    "repro.chem.graphene",
+    "repro.chem.basis.shell",
+    "repro.chem.basis.basisset",
+    "repro.chem.basis.data",
+    "repro.chem.basis.parser",
+    "repro.integrals.boys",
+    "repro.integrals.hermite",
+    "repro.integrals.overlap",
+    "repro.integrals.kinetic",
+    "repro.integrals.nuclear",
+    "repro.integrals.multipole",
+    "repro.integrals.eri",
+    "repro.integrals.schwarz",
+    "repro.integrals.onee",
+    "repro.scf.fock_dense",
+    "repro.scf.guess",
+    "repro.scf.diis",
+    "repro.scf.convergence",
+    "repro.scf.rhf",
+    "repro.scf.uhf",
+    "repro.scf.mp2",
+    "repro.scf.incremental",
+    "repro.scf.properties",
+    "repro.scf.eigensolver",
+    "repro.parallel.comm",
+    "repro.parallel.dlb",
+    "repro.parallel.threads",
+    "repro.parallel.shared_array",
+    "repro.parallel.reduction",
+    "repro.parallel.ddi",
+    "repro.core.indexing",
+    "repro.core.quartets",
+    "repro.core.screening",
+    "repro.core.buffers",
+    "repro.core.fock_base",
+    "repro.core.fock_mpi",
+    "repro.core.fock_private",
+    "repro.core.fock_shared",
+    "repro.core.fock_distributed",
+    "repro.core.fock_uhf",
+    "repro.core.scf_driver",
+    "repro.core.memory_model",
+    "repro.machine.knl",
+    "repro.machine.memory_modes",
+    "repro.machine.cluster_modes",
+    "repro.machine.interconnect",
+    "repro.machine.system",
+    "repro.perfsim.workload",
+    "repro.perfsim.cost_model",
+    "repro.perfsim.affinity",
+    "repro.perfsim.engine",
+    "repro.perfsim.simulate",
+    "repro.perfsim.scaling",
+    "repro.perfsim.sensitivity",
+    "repro.analysis.tables",
+    "repro.analysis.figures",
+    "repro.analysis.report",
+    "repro.analysis.plots",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports_and_documented(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_members_resolve(name):
+    mod = importlib.import_module(name)
+    for member in getattr(mod, "__all__", []):
+        assert hasattr(mod, member), f"{name}.__all__ lists missing {member}"
+
+
+def test_public_classes_have_docstrings():
+    """Every public class/function reachable from package __all__ is
+    documented."""
+    undocumented = []
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        for member in getattr(mod, "__all__", []):
+            obj = getattr(mod, member)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{name}.{member}")
+    assert not undocumented, undocumented

@@ -1,0 +1,87 @@
+"""RunConfig construction, enum coercion, feasibility plumbing."""
+
+import pytest
+
+from repro.core.memory_model import AlgorithmKind
+from repro.machine.cluster_modes import ClusterMode
+from repro.machine.memory_modes import MemoryMode
+from repro.machine.system import JLSE, THETA
+from repro.perfsim.affinity import Affinity
+from repro.perfsim.cost_model import calibrated_cost_model
+from repro.perfsim.simulate import RunConfig, simulate_fock_build
+from repro.perfsim.workload import Workload
+
+
+def test_string_coercion():
+    cfg = RunConfig(
+        algorithm="shared-fock",
+        cluster_mode="all-to-all",
+        memory_mode="flat-ddr",
+        affinity="compact",
+    )
+    assert cfg.algorithm is AlgorithmKind.SHARED_FOCK
+    assert cfg.cluster_mode is ClusterMode.ALL_TO_ALL
+    assert cfg.memory_mode is MemoryMode.FLAT_DDR
+    assert cfg.affinity is Affinity.COMPACT
+
+
+def test_invalid_enum_rejected():
+    with pytest.raises(ValueError):
+        RunConfig(algorithm="gpu-offload")
+    with pytest.raises(ValueError):
+        RunConfig(algorithm="mpi-only", memory_mode="optane")
+
+
+def test_mpi_only_forces_single_thread():
+    cfg = RunConfig.mpi_only(system=JLSE, nodes=1, ranks_per_node=16)
+    assert cfg.threads_per_rank == 1
+    assert cfg.algorithm is AlgorithmKind.MPI_ONLY
+
+
+def test_node_count_validated():
+    wl = Workload.for_dataset("0.5nm")
+    cost = calibrated_cost_model()
+    with pytest.raises(ValueError):
+        simulate_fock_build(
+            wl, RunConfig.mpi_only(system=JLSE, nodes=99), cost
+        )
+
+
+def test_simulate_accepts_string_modes_end_to_end():
+    wl = Workload.for_dataset("0.5nm")
+    cost = calibrated_cost_model()
+    sim = simulate_fock_build(
+        wl,
+        RunConfig.hybrid("shared-fock", system=JLSE, nodes=1,
+                         cluster_mode="snc-4", memory_mode="cache",
+                         affinity="scatter"),
+        cost,
+    )
+    assert sim.feasible
+
+
+def test_flat_mcdram_read_set_guard():
+    """Flat-MCDRAM infeasibility is reported, never raised."""
+    wl = Workload.for_dataset("2.0nm")
+    cost = calibrated_cost_model()
+    sim = simulate_fock_build(
+        wl,
+        RunConfig.mpi_only(system=JLSE, nodes=1,
+                           memory_mode="flat-mcdram"),
+        cost,
+    )
+    assert not sim.feasible
+    assert sim.infeasible_reason
+
+
+def test_diag_scales_with_nbf_cubed():
+    cost = calibrated_cost_model()
+    t_small = simulate_fock_build(
+        Workload.for_dataset("0.5nm"),
+        RunConfig.hybrid("shared-fock", system=THETA, nodes=4), cost,
+    ).diag_seconds
+    t_large = simulate_fock_build(
+        Workload.for_dataset("2.0nm"),
+        RunConfig.hybrid("shared-fock", system=THETA, nodes=4), cost,
+    ).diag_seconds
+    assert t_large / t_small == pytest.approx((5340 / 660) ** 3, rel=1e-6)

@@ -1,0 +1,72 @@
+"""Scaling sweeps and parallel efficiency."""
+
+import pytest
+
+from repro.machine.system import JLSE, THETA
+from repro.perfsim.cost_model import calibrated_cost_model
+from repro.perfsim.scaling import (
+    node_scaling,
+    parallel_efficiency,
+    single_node_thread_scaling,
+)
+from repro.perfsim.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return calibrated_cost_model()
+
+
+def test_parallel_efficiency_definition():
+    assert parallel_efficiency(4, 100.0, 8, 50.0) == pytest.approx(1.0)
+    assert parallel_efficiency(4, 100.0, 8, 100.0) == pytest.approx(0.5)
+    assert parallel_efficiency(4, 100.0, 0, 10.0) == 0.0
+
+
+def test_node_scaling_base_efficiency_is_one(cost):
+    wl = Workload.for_dataset("2.0nm")
+    pts = node_scaling(wl, "shared-fock", [4, 16], cost)
+    assert pts[0].efficiency == pytest.approx(1.0)
+    assert 0.5 < pts[1].efficiency <= 1.02
+
+
+def test_table3_efficiency_shape(cost):
+    """Shared Fock keeps >70% at 512 nodes; the others collapse <35%."""
+    wl = Workload.for_dataset("2.0nm")
+    effs = {}
+    for alg in ("mpi-only", "private-fock", "shared-fock"):
+        pts = node_scaling(wl, alg, [4, 512], cost)
+        effs[alg] = pts[-1].efficiency
+    assert effs["shared-fock"] > 0.70
+    assert effs["mpi-only"] < 0.35
+    assert effs["private-fock"] < 0.35
+
+
+def test_single_node_sweep_marks_infeasible(cost):
+    wl = Workload.for_dataset("1.0nm")
+    pts = single_node_thread_scaling(
+        wl, "mpi-only", [64, 128, 256], cost, system=JLSE
+    )
+    feas = {p.x: p.feasible for p in pts}
+    assert feas[64] and feas[128]
+    assert not feas[256]
+
+
+def test_single_node_sweep_hybrid_scales(cost):
+    wl = Workload.for_dataset("1.0nm")
+    pts = single_node_thread_scaling(
+        wl, "shared-fock", [4, 16, 64, 256], cost, system=JLSE
+    )
+    times = [p.seconds for p in pts]
+    assert times[0] > times[1] > times[2] > times[3]
+    # Early scaling is near-linear (paper Figure 4).
+    assert times[0] / times[1] > 3.0
+
+
+def test_figure7_5nm_scaling_good_to_3000(cost):
+    """Paper Figure 7: the 5.0 nm system scales to 3,000 nodes."""
+    wl = Workload.for_dataset("5.0nm")
+    pts = node_scaling(wl, "shared-fock", [256, 3000], cost)
+    assert pts[0].feasible and pts[1].feasible
+    assert pts[1].efficiency > 0.5
+    assert pts[1].seconds < pts[0].seconds / 5.0

@@ -1,0 +1,48 @@
+"""Exact Schwarz bounds over composite shells."""
+
+import numpy as np
+
+from repro.integrals.schwarz import schwarz_matrix
+from repro.scf.fock_dense import eri_tensor
+
+
+def test_schwarz_symmetric_nonnegative(water_sto3g):
+    q = schwarz_matrix(water_sto3g)
+    assert q.shape == (4, 4)
+    np.testing.assert_allclose(q, q.T, atol=1e-14)
+    assert np.all(q >= 0)
+
+
+def test_schwarz_bounds_all_integrals(water_sto3g):
+    """Every ERI in a composite quartet obeys |(IJ|KL)| <= Q_IJ Q_KL."""
+    q = schwarz_matrix(water_sto3g)
+    eri = eri_tensor(water_sto3g)
+    offs = water_sto3g.shell_bf_offsets()
+    widths = water_sto3g.shell_nfuncs()
+    n = water_sto3g.nshells
+    for I in range(n):
+        si = slice(offs[I], offs[I] + widths[I])
+        for J in range(n):
+            sj = slice(offs[J], offs[J] + widths[J])
+            for K in range(n):
+                sk = slice(offs[K], offs[K] + widths[K])
+                for L in range(n):
+                    sl = slice(offs[L], offs[L] + widths[L])
+                    block = eri[si, sj, sk, sl]
+                    assert np.max(np.abs(block)) <= q[I, J] * q[K, L] + 1e-10
+
+
+def test_schwarz_decays_with_distance():
+    """Q_ij between distant carbons is far below the on-atom value."""
+    from repro.chem.basis import BasisSet
+    from repro.chem.graphene import bilayer_graphene
+
+    mol = bilayer_graphene(6)
+    b = BasisSet(mol, "sto-3g")
+    q = schwarz_matrix(b)
+    d = mol.distance_matrix()
+    # Pick the two most distant atoms' first shells.
+    a1, a2 = np.unravel_index(np.argmax(d), d.shape)
+    s1 = next(i for i, cs in enumerate(b.composite_shells) if cs.atom_index == a1)
+    s2 = next(i for i, cs in enumerate(b.composite_shells) if cs.atom_index == a2)
+    assert q[s1, s2] < 0.05 * q[s1, s1]

@@ -1,0 +1,50 @@
+"""Sensitivity-analysis module."""
+
+import pytest
+
+from repro.perfsim.cost_model import CostModel, calibrated_cost_model
+from repro.perfsim.sensitivity import (
+    CLAIMS,
+    PERTURBABLE,
+    evaluate_claims,
+    sensitivity_sweep,
+)
+from repro.perfsim.workload import Workload
+
+
+def test_claims_hold_at_default_model():
+    cost = calibrated_cost_model()
+    wl = Workload.for_dataset("2.0nm")
+    claims, speedup = evaluate_claims(cost, wl)
+    assert set(claims) == set(CLAIMS)
+    assert all(claims.values())
+    assert 4.0 < speedup < 9.0
+
+
+def test_sweep_structure():
+    records = sensitivity_sweep(
+        CostModel(), factors=(2.0,), dataset="2.0nm"
+    )
+    assert len(records) == len(PERTURBABLE)
+    for r in records:
+        assert r.parameter in PERTURBABLE
+        assert r.factor == 2.0
+        assert set(r.claims_held) == set(CLAIMS)
+        assert r.speedup_512 > 0
+
+
+def test_perturbation_changes_model_but_not_anchor():
+    """After perturbing + recalibrating, the anchor point still holds."""
+    from repro.machine.system import THETA
+    from repro.perfsim.sensitivity import _recalibrate
+    from repro.perfsim.simulate import RunConfig, simulate_fock_build
+
+    wl = Workload.for_dataset("2.0nm")
+    import dataclasses
+
+    perturbed = dataclasses.replace(CostModel(), barrier_base_us=1.2)
+    model = _recalibrate(perturbed, wl)
+    sim = simulate_fock_build(
+        wl, RunConfig.mpi_only(system=THETA, nodes=4), model
+    )
+    assert sim.total_seconds == pytest.approx(2661.0, rel=0.02)

@@ -1,0 +1,61 @@
+"""Write-race detection."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shared_array import RaceError, WriteTracker
+
+
+def test_no_race_for_disjoint_writes():
+    tr = WriteTracker(100)
+    tr.record(0, np.arange(0, 50))
+    tr.record(1, np.arange(50, 100))
+    assert tr.race_free
+
+
+def test_race_detected_same_phase():
+    tr = WriteTracker(10)
+    tr.record(0, np.array([3]))
+    tr.record(1, np.array([3]))
+    assert not tr.race_free
+    assert tr.races[0].element == 3
+    assert tr.races[0].threads == (0, 1)
+
+
+def test_same_thread_rewrite_is_fine():
+    tr = WriteTracker(10)
+    tr.record(2, np.array([5]))
+    tr.record(2, np.array([5]))
+    assert tr.race_free
+
+
+def test_barrier_resets_ownership():
+    tr = WriteTracker(10)
+    tr.record(0, np.array([1]))
+    tr.barrier()
+    tr.record(1, np.array([1]))
+    assert tr.race_free
+    assert tr.phase == 1
+
+
+def test_strict_mode_raises():
+    tr = WriteTracker(10, strict=True)
+    tr.record(0, np.array([7]))
+    with pytest.raises(RaceError):
+        tr.record(1, np.array([7]))
+
+
+def test_record_block():
+    tr = WriteTracker(16)  # a 4x4 matrix
+    tr.record_block(0, (4, 4), slice(0, 2), slice(0, 2))
+    tr.record_block(1, (4, 4), slice(2, 4), slice(0, 2))
+    assert tr.race_free
+    tr.record_block(1, (4, 4), slice(1, 2), slice(1, 2))  # overlaps thread 0
+    assert not tr.race_free
+
+
+def test_writes_checked_counter():
+    tr = WriteTracker(100)
+    tr.record(0, np.arange(10))
+    tr.record(1, np.arange(20, 30))
+    assert tr.writes_checked == 20

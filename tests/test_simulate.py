@@ -1,0 +1,203 @@
+"""Performance simulator: feasibility, orderings, paper-shape checks."""
+
+import math
+
+import pytest
+
+from repro.core.memory_model import AlgorithmKind
+from repro.machine.cluster_modes import ClusterMode
+from repro.machine.memory_modes import MemoryMode
+from repro.machine.system import JLSE, THETA
+from repro.perfsim.affinity import Affinity
+from repro.perfsim.cost_model import CostModel, calibrated_cost_model
+from repro.perfsim.simulate import RunConfig, simulate_fock_build
+from repro.perfsim.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return calibrated_cost_model()
+
+
+@pytest.fixture(scope="module")
+def wl05():
+    return Workload.for_dataset("0.5nm")
+
+
+@pytest.fixture(scope="module")
+def wl2():
+    return Workload.for_dataset("2.0nm")
+
+
+def test_calibration_anchor(wl2, cost):
+    """The calibration point itself must land on the paper value."""
+    sim = simulate_fock_build(wl2, RunConfig.mpi_only(system=THETA, nodes=4), cost)
+    assert sim.total_seconds == pytest.approx(2661.0, rel=0.02)
+
+
+def test_mpi_rank_autosizing_2nm(wl2, cost):
+    """2.0 nm replicas + 1 GB/rank base cap the stock code at 64 ranks."""
+    sim = simulate_fock_build(wl2, RunConfig.mpi_only(system=THETA, nodes=4), cost)
+    assert sim.ranks_per_node == 64
+
+
+def test_mpi_memory_ceiling_1nm(cost):
+    """Figure 4: the stock code cannot occupy all 256 hardware threads."""
+    wl = Workload.for_dataset("1.0nm")
+    sim = simulate_fock_build(
+        wl, RunConfig.mpi_only(system=JLSE, nodes=1, ranks_per_node=256), cost
+    )
+    assert not sim.feasible
+    sim128 = simulate_fock_build(
+        wl, RunConfig.mpi_only(system=JLSE, nodes=1, ranks_per_node=128), cost
+    )
+    assert sim128.feasible
+
+
+def test_hybrids_fill_the_whole_node(cost):
+    """The hybrid codes use all 256 hardware threads where MPI cannot."""
+    wl = Workload.for_dataset("1.0nm")
+    for alg in ("private-fock", "shared-fock"):
+        sim = simulate_fock_build(
+            wl,
+            RunConfig.hybrid(alg, system=JLSE, nodes=1, ranks_per_node=4,
+                             threads_per_rank=64),
+            cost,
+        )
+        assert sim.feasible
+        assert sim.hardware_threads_per_node == 256
+
+
+def test_single_node_ordering(wl05, cost):
+    """Paper single-node result: private < shared < mpi in time."""
+    t = {}
+    for alg in ("mpi-only", "private-fock", "shared-fock"):
+        cfg = (
+            RunConfig.mpi_only(system=JLSE, nodes=1)
+            if alg == "mpi-only"
+            else RunConfig.hybrid(alg, system=JLSE, nodes=1)
+        )
+        t[alg] = simulate_fock_build(wl05, cfg, cost).total_seconds
+    assert t["private-fock"] < t["shared-fock"] < t["mpi-only"]
+
+
+def test_shared_fock_wins_at_scale(wl2, cost):
+    """Paper headline: shared Fock ~6x faster than stock at 512 nodes."""
+    mpi = simulate_fock_build(
+        wl2, RunConfig.mpi_only(system=THETA, nodes=512), cost
+    ).total_seconds
+    shf = simulate_fock_build(
+        wl2, RunConfig.hybrid("shared-fock", system=THETA, nodes=512), cost
+    ).total_seconds
+    assert 4.0 < mpi / shf < 9.0
+
+
+def test_private_fock_starves_at_scale(wl2, cost):
+    """Algorithm 2's i-granularity: 2048 ranks vs 1424 tasks."""
+    shf = simulate_fock_build(
+        wl2, RunConfig.hybrid("shared-fock", system=THETA, nodes=512), cost
+    )
+    prf = simulate_fock_build(
+        wl2, RunConfig.hybrid("private-fock", system=THETA, nodes=512), cost
+    )
+    assert prf.total_seconds > 3.0 * shf.total_seconds
+    assert prf.imbalance > shf.imbalance
+
+
+def test_more_nodes_never_slower_shared(wl2, cost):
+    prev = math.inf
+    for nodes in (4, 16, 64, 256):
+        t = simulate_fock_build(
+            wl2, RunConfig.hybrid("shared-fock", system=THETA, nodes=nodes), cost
+        ).total_seconds
+        assert t < prev
+        prev = t
+
+
+def test_all_to_all_penalizes_shared_fock(wl05, cost):
+    """Figure 5: in all-to-all mode the stock code catches shared Fock."""
+    q = simulate_fock_build(
+        wl05,
+        RunConfig.hybrid("shared-fock", system=JLSE, nodes=1,
+                         cluster_mode=ClusterMode.QUADRANT),
+        cost,
+    ).total_seconds
+    a = simulate_fock_build(
+        wl05,
+        RunConfig.hybrid("shared-fock", system=JLSE, nodes=1,
+                         cluster_mode=ClusterMode.ALL_TO_ALL),
+        cost,
+    ).total_seconds
+    mpi_a = simulate_fock_build(
+        wl05,
+        RunConfig.mpi_only(system=JLSE, nodes=1,
+                           cluster_mode=ClusterMode.ALL_TO_ALL),
+        cost,
+    ).total_seconds
+    assert a > 1.5 * q
+    assert mpi_a <= a  # stock wins (or ties) in all-to-all for small sets
+
+
+def test_memory_mode_sensitivity_small_vs_large(wl05, wl2, cost):
+    """Paper 5.1: modes matter little for large problems, more for small."""
+    def spread(wl):
+        times = []
+        for mm in (MemoryMode.CACHE, MemoryMode.FLAT_DDR):
+            cfg = RunConfig.mpi_only(system=JLSE, nodes=1, memory_mode=mm)
+            times.append(simulate_fock_build(wl, cfg, cost).total_seconds)
+        return max(times) / min(times)
+
+    assert spread(wl05) >= 1.0
+    # Both spreads are modest (the paper's "little impact" finding).
+    assert spread(wl2) < 2.0
+
+
+def test_flat_mcdram_infeasible_for_big(wl2, cost):
+    sim = simulate_fock_build(
+        wl2,
+        RunConfig.mpi_only(system=JLSE, nodes=1,
+                           memory_mode=MemoryMode.FLAT_MCDRAM),
+        cost,
+    )
+    assert not sim.feasible
+    assert "MCDRAM" in sim.infeasible_reason or "capacity" in sim.infeasible_reason
+
+
+def test_affinity_ordering(cost):
+    wl = Workload.for_dataset("1.0nm")
+    times = {}
+    for aff in (Affinity.BALANCED, Affinity.COMPACT, Affinity.NONE):
+        cfg = RunConfig.hybrid(
+            "shared-fock", system=JLSE, nodes=1, threads_per_rank=16,
+            affinity=aff,
+        )
+        times[aff] = simulate_fock_build(wl, cfg, cost).total_seconds
+    assert times[Affinity.BALANCED] < times[Affinity.COMPACT]
+    assert times[Affinity.BALANCED] < times[Affinity.NONE]
+
+
+def test_too_many_threads_rejected(wl05, cost):
+    sim = simulate_fock_build(
+        wl05,
+        RunConfig.hybrid("shared-fock", system=JLSE, nodes=1,
+                         ranks_per_node=8, threads_per_rank=64),
+        cost,
+    )
+    assert not sim.feasible
+
+
+def test_breakdown_reported(wl2, cost):
+    sim = simulate_fock_build(
+        wl2, RunConfig.hybrid("shared-fock", system=THETA, nodes=64), cost
+    )
+    assert {"compute", "reduction", "imbalance"} <= set(sim.breakdown)
+    assert sim.breakdown["compute"] > 0
+    assert sim.diag_seconds > 0
+
+
+def test_diag_reported_separately(wl2, cost):
+    """Fock-build time excludes diagonalization (the paper's timer)."""
+    sim = simulate_fock_build(
+        wl2, RunConfig.hybrid("shared-fock", system=THETA, nodes=4), cost
+    )
+    assert sim.diag_seconds != sim.total_seconds

@@ -1,0 +1,74 @@
+"""OpenMP-style thread team scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.threads import ThreadTeam, split_chunks
+
+
+def test_split_chunks():
+    assert split_chunks(7, 3) == [range(0, 3), range(3, 6), range(6, 7)]
+    with pytest.raises(ValueError):
+        split_chunks(5, 0)
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=7),
+    st.sampled_from(["static", "dynamic"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_partition_is_exact(ntasks, nthreads, chunk, schedule):
+    team = ThreadTeam(nthreads)
+    shares = team.partition(ntasks, schedule=schedule, chunk=chunk)
+    assert len(shares) == nthreads
+    flat = sorted(x for s in shares for x in s)
+    assert flat == list(range(ntasks))
+
+
+def test_static_cyclic_layout():
+    team = ThreadTeam(2)
+    shares = team.partition(6, schedule="static", chunk=1)
+    assert shares == [[0, 2, 4], [1, 3, 5]]
+
+
+def test_static_chunked_layout():
+    team = ThreadTeam(2)
+    shares = team.partition(8, schedule="static", chunk=2)
+    assert shares == [[0, 1, 4, 5], [2, 3, 6, 7]]
+
+
+def test_dynamic_with_costs_improves_balance():
+    rng = np.random.default_rng(2)
+    costs = rng.lognormal(0, 2, 400)
+    team = ThreadTeam(8)
+    dyn = team.partition(400, schedule="dynamic", chunk=1, costs=costs)
+    stat = team.partition(400, schedule="static", chunk=1)
+    load = lambda shares: max(costs[list(s)].sum() for s in shares)
+    assert load(dyn) <= load(stat) + 1e-9
+
+
+def test_bad_schedule_rejected():
+    with pytest.raises(ValueError):
+        ThreadTeam(2).partition(10, schedule="guided")
+
+
+def test_collapse2_triangular():
+    team = ThreadTeam(1)
+    out = team.collapse2(3, lambda a: a + 1)
+    assert out == [(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]
+
+
+def test_collapse2_rectangular():
+    team = ThreadTeam(1)
+    assert team.collapse2(2, 2) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_private_buffers_independent():
+    team = ThreadTeam(3)
+    bufs = team.private_buffers((2, 2))
+    bufs[0][0, 0] = 5.0
+    assert bufs[1][0, 0] == 0.0
+    assert len(bufs) == 3
