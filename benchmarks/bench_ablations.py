@@ -35,7 +35,7 @@ def water_setup():
     return basis, h, d
 
 
-def test_ablation_openmp_schedule(benchmark, emit, water_setup):
+def test_ablation_openmp_schedule(benchmark, emit, bench_meta, water_setup):
     """Static vs dynamic thread schedule: same Fock, similar balance."""
     basis, h, d = water_setup
 
@@ -53,6 +53,7 @@ def test_ablation_openmp_schedule(benchmark, emit, water_setup):
     f_s, st_s = out["static"]
     f_d, st_d = out["dynamic"]
     np.testing.assert_allclose(f_s, f_d, atol=1e-10)
+    bench_meta(quartets=st_s.quartets_computed + st_d.quartets_computed)
     rows = [
         [sched, str(st.quartets_computed), str(st.per_thread_quartets)]
         for sched, (_f, st) in out.items()

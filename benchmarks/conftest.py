@@ -4,15 +4,26 @@ Every benchmark regenerates one of the paper's tables or figures and
 writes the rendered output to ``benchmarks/results/<name>.txt`` (and to
 stdout).  The pytest-benchmark timer wraps the regeneration so the
 harness also reports how long each reproduction takes.
+
+In addition, every passing benchmark test writes a machine-readable
+``benchmarks/results/BENCH_<test>.json`` record (test name, wall
+seconds, plus any extra metrics the test attached via the
+``bench_meta`` fixture, e.g. quartet counts → quartets/s) so the
+performance trajectory of the repository is diffable across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import re
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Extra machine-readable metrics attached by tests, keyed by nodeid.
+_BENCH_EXTRA: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="session")
@@ -39,3 +50,41 @@ def emit(results_dir):
         print(f"\n===== {name} =====\n{text}\n", flush=True)
 
     return _emit
+
+
+@pytest.fixture()
+def bench_meta(request):
+    """Attach extra metrics to this test's ``BENCH_*.json`` record.
+
+    ``bench_meta(quartets=12345)`` additionally derives
+    ``quartets_per_s`` from the measured wall time when the record is
+    written.
+    """
+
+    def _set(**metrics) -> None:
+        _BENCH_EXTRA.setdefault(request.node.nodeid, {}).update(metrics)
+
+    return _set
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.passed:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "name": item.name,
+        "nodeid": item.nodeid,
+        "wall_s": report.duration,
+    }
+    record.update(_BENCH_EXTRA.pop(item.nodeid, {}))
+    if "quartets" in record and report.duration > 0:
+        record["quartets_per_s"] = record["quartets"] / report.duration
+    path = RESULTS_DIR / f"BENCH_{_safe_name(item.name)}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

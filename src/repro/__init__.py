@@ -16,6 +16,8 @@ The package layers:
 * :mod:`repro.machine` / :mod:`repro.perfsim` — Intel Xeon Phi (KNL)
   node/cluster models and the calibrated performance simulator that
   regenerates the paper's figures and tables.
+* :mod:`repro.obs` — observability: hierarchical tracing, a named
+  metrics registry, and Chrome-trace/profile/NDJSON exporters.
 * :mod:`repro.analysis` — table/figure reproduction helpers.
 * :mod:`repro.cli` — the ``python -m repro`` command-line interface.
 """

@@ -4,6 +4,8 @@ Commands
 --------
 ``scf``        Run RHF/UHF on an XYZ file with any of the parallel
                Fock algorithms.
+``profile``    Run an SCF under the tracer and export a Chrome-trace
+               timeline, a text profile, and NDJSON metrics.
 ``dataset``    Describe one of the paper's graphene datasets (sizes,
                screening statistics).
 ``simulate``   Predict the Fock-build time of one run configuration.
@@ -41,6 +43,24 @@ def build_parser() -> argparse.ArgumentParser:
     scf.add_argument("--charge", type=int, default=0)
     scf.add_argument("--uhf", action="store_true")
     scf.add_argument("--multiplicity", type=int, default=1)
+
+    prof = sub.add_parser(
+        "profile",
+        help="run an SCF under the tracer; emit Chrome trace + profile",
+    )
+    prof.add_argument(
+        "xyz", nargs="?", type=Path, default=None,
+        help="XYZ geometry file (default: built-in water)",
+    )
+    prof.add_argument("--basis", default="sto-3g")
+    prof.add_argument("--algorithm", choices=ALGORITHMS, default="shared-fock")
+    prof.add_argument("--ranks", type=int, default=2)
+    prof.add_argument("--threads", type=int, default=4)
+    prof.add_argument("--charge", type=int, default=0)
+    prof.add_argument(
+        "--output-dir", type=Path, default=Path("profile_out"),
+        help="directory for trace.json / profile.txt / metrics.ndjson",
+    )
 
     ds = sub.add_parser("dataset", help="describe a benchmark dataset")
     ds.add_argument("label", choices=DATASETS)
@@ -96,6 +116,79 @@ def cmd_scf(args: argparse.Namespace) -> int:
     print(f"Fock build   : {stats.quartets_computed} quartets, "
           f"{stats.quartets_screened} screened, algorithm {stats.algorithm}, "
           f"{stats.nranks} ranks x {stats.nthreads} threads")
+    return 0 if res.converged else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.chem.basis import BasisSet
+    from repro.chem.molecule import Molecule, water
+    from repro.core.scf_driver import ParallelSCF
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        metrics_ndjson,
+        profile_report,
+        use_metrics,
+        use_tracer,
+        write_chrome_trace,
+    )
+
+    if args.xyz is not None:
+        mol = Molecule.from_xyz(args.xyz.read_text(), charge=args.charge)
+    else:
+        mol = water()
+    basis = BasisSet(mol, args.basis)
+    nthreads = 1 if args.algorithm == "mpi-only" else args.threads
+    print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis functions, "
+          f"{basis.nshells} shells ({args.basis})")
+    print(f"profiling {args.algorithm} on {args.ranks} rank(s) x "
+          f"{nthreads} thread(s)")
+
+    # Setup (integrals, Schwarz matrix) stays outside the measured
+    # window so the traced span total is comparable to the SCF wall.
+    scf = ParallelSCF(
+        basis, args.algorithm, nranks=args.ranks, nthreads=nthreads
+    )
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        t0 = time.perf_counter()
+        res = scf.run()
+        wall = time.perf_counter() - t0
+
+    traced = tracer.total_seconds()
+    coverage = 100.0 * traced / wall if wall > 0 else 0.0
+    report = profile_report(
+        tracer, title=f"SCF profile ({args.algorithm})"
+    )
+
+    out = args.output_dir
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(tracer, out / "trace.json")
+    report_path = out / "profile.txt"
+    report_path.write_text(report + "\n")
+    metrics_path = out / "metrics.ndjson"
+    lines = [metrics_ndjson(registry)]
+    lines += [
+        json.dumps({"fock_build": i + 1, **s.as_dict()})
+        for i, s in enumerate(res.fock_stats)
+    ]
+    metrics_path.write_text("\n".join(lines) + "\n")
+
+    print(f"\n{report}\n")
+    print(f"RHF energy   : {res.energy:.10f} Eh "
+          f"(converged={res.converged}, {res.scf.niterations} iterations)")
+    print(f"load balance : rank imbalance {res.rank_imbalance:.3f}, "
+          f"thread imbalance {res.thread_imbalance:.3f}")
+    print(f"SCF wall     : {wall:.6f} s; traced {traced:.6f} s "
+          f"({coverage:.1f}% of wall)")
+    print(f"trace        : {trace_path} (open in chrome://tracing or "
+          f"ui.perfetto.dev)")
+    print(f"profile      : {report_path}")
+    print(f"metrics      : {metrics_path}")
     return 0 if res.converged else 1
 
 
@@ -238,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "scf": cmd_scf,
+        "profile": cmd_profile,
         "dataset": cmd_dataset,
         "simulate": cmd_simulate,
         "reproduce": cmd_reproduce,

@@ -12,7 +12,7 @@ the dense reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -20,26 +20,107 @@ from repro.chem.basis.basisset import BasisSet
 from repro.core.quartets import QuartetEngine, symmetrize_two_electron
 from repro.core.screening import DEFAULT_TAU, Screening
 from repro.integrals.schwarz import schwarz_matrix
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.parallel.comm import SimWorld
 from repro.parallel.shared_array import WriteTracker
 
+#: Scalar counters of one Fock build, in declaration order.
+_SCALAR_FIELDS = (
+    "quartets_computed",
+    "quartets_screened",
+    "fi_flushes",
+    "fj_flushes",
+    "reduce_bytes",
+    "races",
+    "writes_checked",
+)
+_SERIES_FIELDS = ("per_rank_quartets", "per_thread_quartets")
 
-@dataclass
+
+def _counter_property(field: str) -> property:
+    key = f"fock.{field}"
+
+    def _get(self: "FockBuildStats") -> int:
+        return self.metrics.counter(key).value
+
+    def _set(self: "FockBuildStats", value: int) -> None:
+        self.metrics.counter(key).set(value)
+
+    return property(_get, _set, doc=f"Counter ``{key}`` of the build registry.")
+
+
+def _series_property(field: str) -> property:
+    key = f"fock.{field}"
+
+    def _get(self: "FockBuildStats") -> list[int]:
+        return self.metrics.series(key)
+
+    def _set(self: "FockBuildStats", value: Sequence[int]) -> None:
+        series = self.metrics.series(key)
+        series[:] = list(value)
+
+    return property(_get, _set, doc=f"Series ``{key}`` of the build registry.")
+
+
+def _imbalance(values: Sequence[int]) -> float:
+    if not values or sum(values) == 0:
+        return 1.0
+    arr = np.asarray(values, dtype=np.float64)
+    mean = arr.mean()
+    return float(arr.max() / mean) if mean > 0 else 1.0
+
+
 class FockBuildStats:
-    """Execution statistics of one Fock construction."""
+    """Execution statistics of one Fock construction.
 
-    algorithm: str
-    nranks: int
-    nthreads: int
-    quartets_computed: int = 0
-    quartets_screened: int = 0
-    per_rank_quartets: list[int] = field(default_factory=list)
-    per_thread_quartets: list[int] = field(default_factory=list)
-    fi_flushes: int = 0
-    fj_flushes: int = 0
-    reduce_bytes: int = 0
-    races: int = 0
-    writes_checked: int = 0
+    A thin attribute view over a per-build
+    :class:`~repro.obs.metrics.MetricsRegistry`: every counter
+    (``quartets_computed``, ``fi_flushes``, ...) and per-rank/thread
+    series lives in ``self.metrics`` under a ``fock.*`` name, so the
+    same numbers are reachable both as plain attributes (as the
+    builders and analyses always did) and as named metrics for the
+    NDJSON/report exporters.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        nranks: int,
+        nthreads: int,
+        quartets_computed: int = 0,
+        quartets_screened: int = 0,
+        per_rank_quartets: Sequence[int] | None = None,
+        per_thread_quartets: Sequence[int] | None = None,
+        fi_flushes: int = 0,
+        fj_flushes: int = 0,
+        reduce_bytes: int = 0,
+        races: int = 0,
+        writes_checked: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.nranks = nranks
+        self.nthreads = nthreads
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.quartets_computed = quartets_computed
+        self.quartets_screened = quartets_screened
+        self.fi_flushes = fi_flushes
+        self.fj_flushes = fj_flushes
+        self.reduce_bytes = reduce_bytes
+        self.races = races
+        self.writes_checked = writes_checked
+        self.per_rank_quartets = list(per_rank_quartets or [])
+        self.per_thread_quartets = list(per_thread_quartets or [])
+
+    quartets_computed = _counter_property("quartets_computed")
+    quartets_screened = _counter_property("quartets_screened")
+    fi_flushes = _counter_property("fi_flushes")
+    fj_flushes = _counter_property("fj_flushes")
+    reduce_bytes = _counter_property("reduce_bytes")
+    races = _counter_property("races")
+    writes_checked = _counter_property("writes_checked")
+    per_rank_quartets = _series_property("per_rank_quartets")
+    per_thread_quartets = _series_property("per_thread_quartets")
 
     @property
     def total_quartets(self) -> int:
@@ -49,11 +130,51 @@ class FockBuildStats:
     @property
     def rank_imbalance(self) -> float:
         """max/mean quartets per rank (1.0 = perfectly balanced)."""
-        if not self.per_rank_quartets or sum(self.per_rank_quartets) == 0:
-            return 1.0
-        arr = np.asarray(self.per_rank_quartets, dtype=np.float64)
-        mean = arr.mean()
-        return float(arr.max() / mean) if mean > 0 else 1.0
+        return _imbalance(self.per_rank_quartets)
+
+    @property
+    def thread_imbalance(self) -> float:
+        """max/mean quartets per thread (1.0 = perfectly balanced)."""
+        return _imbalance(self.per_thread_quartets)
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat view (geometry, counters, series, imbalances)."""
+        out = {
+            "algorithm": self.algorithm,
+            "nranks": self.nranks,
+            "nthreads": self.nthreads,
+        }
+        for field in _SCALAR_FIELDS:
+            out[field] = getattr(self, field)
+        for field in _SERIES_FIELDS:
+            out[field] = list(getattr(self, field))
+        out["rank_imbalance"] = self.rank_imbalance
+        out["thread_imbalance"] = self.thread_imbalance
+        return out
+
+    def _as_tuple(self) -> tuple:
+        return (
+            self.algorithm,
+            self.nranks,
+            self.nthreads,
+            *(getattr(self, f) for f in _SCALAR_FIELDS),
+            *(list(getattr(self, f)) for f in _SERIES_FIELDS),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FockBuildStats):
+            return NotImplemented
+        return self._as_tuple() == other._as_tuple()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{f}={getattr(self, f)!r}"
+            for f in (
+                "algorithm", "nranks", "nthreads",
+                *_SCALAR_FIELDS, *_SERIES_FIELDS,
+            )
+        )
+        return f"FockBuildStats({fields})"
 
 
 class ParallelFockBuilderBase:
@@ -128,6 +249,18 @@ class ParallelFockBuilderBase:
             return None
         return WriteTracker(self.nbf * self.nbf, strict=False)
 
+    def _record_global(self, stats: FockBuildStats) -> None:
+        """Mirror final per-build counters into the global registry."""
+        registry = get_metrics()
+        if registry is None:
+            return
+        algo = self.algorithm_name
+        registry.counter("fock.builds", algorithm=algo).inc()
+        for field in _SCALAR_FIELDS:
+            registry.counter(f"fock.{field}", algorithm=algo).inc(
+                getattr(stats, field)
+            )
+
     def _finish(
         self,
         W: np.ndarray,
@@ -141,4 +274,5 @@ class ParallelFockBuilderBase:
             if tr is not None:
                 stats.races += len(tr.races)
                 stats.writes_checked += tr.writes_checked
+        self._record_global(stats)
         return self.hcore + G, stats

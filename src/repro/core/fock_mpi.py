@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
 from repro.core.indexing import decode_pair, lmax_for, npairs
+from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
 from repro.parallel.dlb import DynamicLoadBalancer
 
@@ -36,6 +37,7 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
 
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        tracer = get_tracer()
         world = SimWorld(self.nranks)
         ntasks = npairs(self.nshells)
         dlb = DynamicLoadBalancer(
@@ -50,20 +52,25 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
             done = 0
             # Stock loop: i over shells, j <= i, with the DLB check on
             # the combined (i, j) index (ddi_dlbnext).
-            for ij in dlb.iter_rank(rank):
-                i, j = decode_pair(ij)
-                for k in range(i + 1):
-                    for l in range(lmax_for(i, j, k) + 1):
-                        if not self.screening.survives(i, j, k, l):
-                            stats.quartets_screened += 1
-                            continue
-                        self.engine.apply_quartet(W, density, i, j, k, l)
-                        done += 1
+            with tracer.span("fock/quartets", rank=rank):
+                for ij in dlb.iter_rank(rank):
+                    i, j = decode_pair(ij)
+                    for k in range(i + 1):
+                        for l in range(lmax_for(i, j, k) + 1):
+                            if not self.screening.survives(i, j, k, l):
+                                stats.quartets_screened += 1
+                                continue
+                            self.engine.apply_quartet(W, density, i, j, k, l)
+                            done += 1
             stats.per_rank_quartets.append(done)
-            comm.gsumf(W)
+            with tracer.span("fock/gsumf", rank=rank):
+                comm.gsumf(W)
             results.append(W)
 
-        world.execute(rank_main)
+        with tracer.span(
+            "fock/build", algorithm=self.algorithm_name, nranks=self.nranks
+        ):
+            world.execute(rank_main)
         stats.quartets_computed = sum(stats.per_rank_quartets)
         return self._finish(results[0], stats, world, [])
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
 from repro.core.indexing import lmax_for
+from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
 from repro.parallel.dlb import DynamicLoadBalancer
 from repro.parallel.threads import ThreadTeam
@@ -31,6 +32,7 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
 
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        tracer = get_tracer()
         world = SimWorld(self.nranks)
         # MPI-level DLB over the *i* index only — the coarse granularity
         # the paper identifies as this algorithm's scaling limit.
@@ -61,24 +63,35 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
                 )
                 for t, share in enumerate(shares):
                     Wt = W_threads[t]
-                    for idx in share:
-                        j, k = jk_tasks[idx]
-                        for l in range(lmax_for(i, j, k) + 1):
-                            if not self.screening.survives(i, j, k, l):
-                                stats.quartets_screened += 1
-                                continue
-                            self.engine.apply_quartet(Wt, density, i, j, k, l)
-                            done += 1
-                            thread_counts[t] += 1
+                    with tracer.span(
+                        "fock/jk", rank=rank, thread=t, i=i, tasks=len(share)
+                    ):
+                        for idx in share:
+                            j, k = jk_tasks[idx]
+                            for l in range(lmax_for(i, j, k) + 1):
+                                if not self.screening.survives(i, j, k, l):
+                                    stats.quartets_screened += 1
+                                    continue
+                                self.engine.apply_quartet(
+                                    Wt, density, i, j, k, l
+                                )
+                                done += 1
+                                thread_counts[t] += 1
             # OpenMP reduction over thread-private Focks.
-            W = np.zeros((self.nbf, self.nbf))
-            for Wt in W_threads:
-                W += Wt
+            with tracer.span("fock/thread_reduce", rank=rank):
+                W = np.zeros((self.nbf, self.nbf))
+                for Wt in W_threads:
+                    W += Wt
             stats.per_rank_quartets.append(done)
-            comm.gsumf(W)
+            with tracer.span("fock/gsumf", rank=rank):
+                comm.gsumf(W)
             results.append(W)
 
-        world.execute(rank_main)
+        with tracer.span(
+            "fock/build", algorithm=self.algorithm_name,
+            nranks=self.nranks, nthreads=self.nthreads,
+        ):
+            world.execute(rank_main)
         stats.quartets_computed = sum(stats.per_rank_quartets)
         stats.per_thread_quartets = thread_counts.tolist()
         return self._finish(results[0], stats, world, [])

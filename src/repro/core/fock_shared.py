@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.buffers import ColumnBlockBuffer
 from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
 from repro.core.indexing import decode_pair, decode_pairs, npairs
+from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
 from repro.parallel.dlb import DynamicLoadBalancer
 from repro.parallel.shared_array import WriteTracker
@@ -52,6 +53,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
 
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        tracer = get_tracer()
         world = SimWorld(self.nranks)
         ntasks = npairs(self.nshells)
         dlb = DynamicLoadBalancer(
@@ -88,10 +90,11 @@ class SharedFockBuilder(ParallelFockBuilderBase):
                 # Flush FI when the i index changes (lines 15-18) — or
                 # every iteration when the iold optimization is ablated.
                 if (i != iold or self.flush_fi_every_iteration) and iold >= 0:
-                    FI.flush(
-                        W, int(offsets[iold]), int(widths[iold]),
-                        tracker=tracker,
-                    )
+                    with tracer.span("fock/flush_fi", rank=rank, i=iold):
+                        FI.flush(
+                            W, int(offsets[iold]), int(widths[iold]),
+                            tracker=tracker,
+                        )
                     if tracker is not None:
                         tracker.barrier()
 
@@ -108,33 +111,49 @@ class SharedFockBuilder(ParallelFockBuilderBase):
                     si = slice(int(offsets[i]), int(offsets[i] + widths[i]))
                     sj = slice(int(offsets[j]), int(offsets[j] + widths[j]))
                     for t, share in enumerate(shares):
-                        for idx in share:
-                            k, l = int(ks[idx]), int(ls[idx])
-                            self._do_quartet(
-                                W, FI, FJ, density, i, j, k, l, t,
-                                si, sj, tracker,
-                            )
-                            thread_counts[t] += 1
-                            done += 1
+                        with tracer.span(
+                            "fock/kl", rank=rank, thread=t, ij=ij,
+                            tasks=len(share),
+                        ):
+                            for idx in share:
+                                k, l = int(ks[idx]), int(ls[idx])
+                                self._do_quartet(
+                                    W, FI, FJ, density, i, j, k, l, t,
+                                    si, sj, tracker,
+                                )
+                                thread_counts[t] += 1
+                                done += 1
                     if tracker is not None:
                         tracker.barrier()
 
                 # Flush FJ after every kl loop (line 31).
-                FJ.flush(W, int(offsets[j]), int(widths[j]), tracker=tracker)
+                with tracer.span("fock/flush_fj", rank=rank, j=j):
+                    FJ.flush(
+                        W, int(offsets[j]), int(widths[j]), tracker=tracker
+                    )
                 if tracker is not None:
                     tracker.barrier()
                 iold = i
 
             # Remainder FI flush (line 36).
             if iold >= 0:
-                FI.flush(W, int(offsets[iold]), int(widths[iold]), tracker=tracker)
+                with tracer.span("fock/flush_fi", rank=rank, i=iold):
+                    FI.flush(
+                        W, int(offsets[iold]), int(widths[iold]),
+                        tracker=tracker,
+                    )
             stats.per_rank_quartets.append(done)
             stats.fi_flushes += FI.flushes
             stats.fj_flushes += FJ.flushes
-            comm.gsumf(W)
+            with tracer.span("fock/gsumf", rank=rank):
+                comm.gsumf(W)
             results.append(W)
 
-        world.execute(rank_main)
+        with tracer.span(
+            "fock/build", algorithm=self.algorithm_name,
+            nranks=self.nranks, nthreads=self.nthreads,
+        ):
+            world.execute(rank_main)
         stats.quartets_computed = sum(stats.per_rank_quartets)
         stats.per_thread_quartets = thread_counts.tolist()
         return self._finish(results[0], stats, world, trackers)

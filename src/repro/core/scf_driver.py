@@ -20,6 +20,7 @@ from repro.core.fock_private import PrivateFockBuilder
 from repro.core.fock_shared import SharedFockBuilder
 from repro.core.screening import Screening
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+from repro.obs.tracer import get_tracer
 from repro.scf.convergence import ConvergenceCriteria
 from repro.scf.rhf import RHF, SCFResult
 
@@ -69,6 +70,16 @@ class ParallelSCFResult:
         """Quartets evaluated across all SCF iterations."""
         return sum(s.quartets_computed for s in self.fock_stats)
 
+    @property
+    def rank_imbalance(self) -> float:
+        """Worst per-iteration MPI load imbalance (max/mean, >= 1.0)."""
+        return max((s.rank_imbalance for s in self.fock_stats), default=1.0)
+
+    @property
+    def thread_imbalance(self) -> float:
+        """Worst per-iteration OpenMP load imbalance (max/mean, >= 1.0)."""
+        return max((s.thread_imbalance for s in self.fock_stats), default=1.0)
+
 
 class ParallelSCF:
     """RHF driven by a simulated-parallel Fock construction.
@@ -111,7 +122,10 @@ class ParallelSCF:
         self.builder = inner
 
         def recording_builder(D: np.ndarray):
-            F, stats = inner(D)
+            with get_tracer().span(
+                "scf/fock_build", iteration=len(self._fock_stats) + 1
+            ):
+                F, stats = inner(D)
             self._fock_stats.append(stats)
             return F, {"fock": stats}
 
@@ -120,5 +134,11 @@ class ParallelSCF:
     def run(self, **kwargs) -> ParallelSCFResult:
         """Run the SCF; returns energy plus per-iteration Fock stats."""
         self._fock_stats.clear()
-        result = self.rhf.run(**kwargs)
+        with get_tracer().span(
+            "scf/run",
+            algorithm=self.algorithm,
+            nranks=self.builder.nranks,
+            nthreads=self.builder.nthreads,
+        ):
+            result = self.rhf.run(**kwargs)
         return ParallelSCFResult(scf=result, fock_stats=list(self._fock_stats))

@@ -1,0 +1,63 @@
+"""repro.obs — observability for the simulated MPI/OpenMP SCF.
+
+The measurement layer the paper's evaluation is built on: hierarchical
+wall-clock tracing (:mod:`repro.obs.tracer`), a named-metric registry
+(:mod:`repro.obs.metrics`), and exporters for Chrome ``trace_event``
+timelines, GAMESS-style text profiles, and NDJSON
+(:mod:`repro.obs.export`).
+
+Instrumented code reads the process-global tracer/registry through
+:func:`get_tracer` / :func:`get_metrics`; both default to disabled and
+cost almost nothing until :func:`use_tracer` / :func:`use_metrics`
+(or the ``repro profile`` CLI) installs live ones.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_ndjson,
+    profile_report,
+    spans_ndjson,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "get_metrics",
+    "get_tracer",
+    "metrics_ndjson",
+    "profile_report",
+    "set_metrics",
+    "set_tracer",
+    "spans_ndjson",
+    "to_chrome_trace",
+    "use_metrics",
+    "use_tracer",
+    "write_chrome_trace",
+]

@@ -1,0 +1,197 @@
+"""Exporters: Chrome trace-event JSON, text profile, NDJSON.
+
+Three machine/human-readable views of one traced run:
+
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` format (open the
+  file in ``chrome://tracing`` or https://ui.perfetto.dev).  Every span
+  becomes a complete ``"ph": "X"`` event; the simulated MPI rank is the
+  ``pid`` track and the simulated OpenMP thread the ``tid`` track, so
+  the timeline looks like the per-rank/per-thread Gantt charts of the
+  paper's profiling discussion.
+* :func:`profile_report` — a GAMESS-style hierarchical percentage
+  breakdown of where the wall time went.
+* :func:`spans_ndjson` / :func:`metrics_ndjson` — newline-delimited
+  JSON for the benchmark trajectory tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+_MICRO = 1e6
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict[str, Any]]:
+    """Flatten a tracer's span forest into Chrome trace events.
+
+    Timestamps are microseconds relative to the earliest root span;
+    metadata events name each ``pid`` track "rank r" and each ``tid``
+    track "thread t".
+    """
+    spans = [s for s in tracer.walk() if s.end is not None]
+    if not spans:
+        return []
+    t0 = min(s.start for s in spans)
+    events: list[dict[str, Any]] = []
+    tracks: set[tuple[int, int]] = set()
+    for s in spans:
+        pid = int(s.effective_attr("rank", 0))
+        tid = int(s.effective_attr("thread", 0))
+        tracks.add((pid, tid))
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split("/", 1)[0],
+                "ph": "X",
+                "ts": (s.start - t0) * _MICRO,
+                "dur": s.duration * _MICRO,
+                "pid": pid,
+                "tid": tid,
+                "args": {k: _json_safe(v) for k, v in s.attrs.items()},
+            }
+        )
+    meta: list[dict[str, Any]] = []
+    for pid in sorted({p for p, _ in tracks}):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"rank {pid}"},
+            }
+        )
+    for pid, tid in sorted(tracks):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"thread {tid}"},
+            }
+        )
+    return meta + events
+
+
+def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """The complete Chrome trace document for a traced run."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer)) + "\n")
+    return path
+
+
+# -- text profile ------------------------------------------------------------
+
+
+class _ProfileNode:
+    __slots__ = ("name", "calls", "total", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total = 0.0
+        self.children: dict[str, _ProfileNode] = {}
+
+    def child(self, name: str) -> "_ProfileNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = _ProfileNode(name)
+        return node
+
+    @property
+    def self_seconds(self) -> float:
+        return self.total - sum(c.total for c in self.children.values())
+
+
+def _aggregate(spans: list[Span], node: _ProfileNode) -> None:
+    for s in spans:
+        if s.end is None:
+            continue
+        child = node.child(s.name)
+        child.calls += 1
+        child.total += s.duration
+        _aggregate(s.children, child)
+
+
+def profile_report(tracer: Tracer, *, title: str = "profile") -> str:
+    """Hierarchical percentage breakdown of the traced wall time.
+
+    Spans are aggregated by their position in the call tree (same name
+    under the same parent chain = one row); percentages are of the
+    total traced time, GAMESS timing-summary style.
+    """
+    root = _ProfileNode("")
+    _aggregate(tracer.roots, root)
+    total = tracer.total_seconds()
+    lines = [
+        f"{title} — traced total {total:.6f} s",
+        f"{'span':<44s} {'calls':>7s} {'total(s)':>10s} "
+        f"{'self(s)':>10s} {'%total':>7s}",
+    ]
+
+    def emit(node: _ProfileNode, depth: int) -> None:
+        pct = 100.0 * node.total / total if total > 0 else 0.0
+        label = "  " * depth + node.name
+        lines.append(
+            f"{label:<44s} {node.calls:>7d} {node.total:>10.6f} "
+            f"{node.self_seconds:>10.6f} {pct:>6.1f}%"
+        )
+        for child in sorted(
+            node.children.values(), key=lambda c: -c.total
+        ):
+            emit(child, depth + 1)
+
+    for top in sorted(root.children.values(), key=lambda c: -c.total):
+        emit(top, 0)
+    return "\n".join(lines)
+
+
+# -- NDJSON ------------------------------------------------------------------
+
+
+def spans_ndjson(tracer: Tracer) -> str:
+    """One JSON line per completed span (name, start, dur, depth, attrs)."""
+    spans = [s for s in tracer.walk() if s.end is not None]
+    t0 = min((s.start for s in spans), default=0.0)
+    lines = []
+    for s in spans:
+        lines.append(
+            json.dumps(
+                {
+                    "span": s.name,
+                    "start_s": s.start - t0,
+                    "dur_s": s.duration,
+                    "depth": s.depth,
+                    "rank": _json_safe(s.effective_attr("rank", 0)),
+                    "thread": _json_safe(s.effective_attr("thread", 0)),
+                    "attrs": {k: _json_safe(v) for k, v in s.attrs.items()},
+                }
+            )
+        )
+    return "\n".join(lines)
+
+
+def metrics_ndjson(registry: MetricsRegistry) -> str:
+    """One JSON line per metric in the registry, key-sorted."""
+    return "\n".join(json.dumps(rec) for rec in registry.records())

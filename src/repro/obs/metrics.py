@@ -1,0 +1,220 @@
+"""Named-metric registry: counters, gauges, histograms, series.
+
+The registry is the machine-readable side of the observability layer:
+every quantity the paper tabulates (quartets computed/screened, FI/FJ
+flushes, reduce bytes, DLB grants per rank, race checks) lives here as
+a named metric, optionally labelled (``counter("dlb.grants", rank=3)``).
+
+:class:`~repro.core.fock_base.FockBuildStats` is a thin attribute view
+over one registry per Fock build; a globally installed registry
+(:func:`use_metrics`) additionally accumulates run-level totals from
+the DLB, DDI, reduction, and perfsim layers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+class Counter:
+    """Monotonically incremented (but settable) numeric metric."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """Last-value metric."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float | None = None
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def snapshot(self) -> int | float | None:
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Series(list):
+    """A list-valued metric (e.g. per-rank quartet counts, in rank order)."""
+
+    kind = "series"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        super().__init__()
+        self.name = name
+        self.labels = labels
+
+    def snapshot(self) -> list:
+        return list(self)
+
+
+Metric = Counter | Gauge | Histogram | Series
+
+
+def _format_key(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Keyed store of metrics, created on first access.
+
+    ``registry.counter("dlb.grants", rank=2).inc()`` creates the
+    labelled counter on first use and reuses it afterwards; asking for
+    an existing key with a different metric kind is an error.
+    """
+
+    _KINDS = {
+        "counter": Counter,
+        "gauge": Gauge,
+        "histogram": Histogram,
+        "series": Series,
+    }
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+
+    def _get_or_create(self, kind: str, name: str, labels: dict[str, Any]) -> Metric:
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._KINDS[kind](name, key[1])
+            self._metrics[key] = metric
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {_format_key(name, key[1])!r} already registered "
+                f"as a {metric.kind}, requested as a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get_or_create("histogram", name, labels)
+
+    def series(self, name: str, **labels: Any) -> Series:
+        return self._get_or_create("series", name, labels)
+
+    # -- inspection ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat ``{"name{label=v}": value}`` view, key-sorted.
+
+        Deterministic for deterministic instrumentation — the test
+        suite diffs snapshots across repeated runs.
+        """
+        return {
+            _format_key(m.name, m.labels): m.snapshot()
+            for m in sorted(
+                self._metrics.values(),
+                key=lambda m: (m.name, m.labels),
+            )
+        }
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """One JSON-ready record per metric (the NDJSON export unit)."""
+        for m in sorted(
+            self._metrics.values(), key=lambda m: (m.name, m.labels)
+        ):
+            yield {
+                "metric": m.name,
+                "kind": m.kind,
+                "labels": dict(m.labels),
+                "value": m.snapshot(),
+            }
+
+
+_current_metrics: MetricsRegistry | None = None
+
+
+def get_metrics() -> MetricsRegistry | None:
+    """The globally installed registry, or ``None`` (metering off)."""
+    return _current_metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> None:
+    """Install a global registry; ``None`` disables run-level metering."""
+    global _current_metrics
+    _current_metrics = registry
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for the duration of a ``with`` block."""
+    previous = _current_metrics
+    set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,216 @@
+"""Hierarchical wall-clock tracing for the simulated MPI/OpenMP SCF.
+
+A :class:`Tracer` records *spans* — named, nestable regions of wall
+time with arbitrary attributes — via a context manager::
+
+    tracer = Tracer()
+    with tracer.span("fock/build", algorithm="shared-fock"):
+        with tracer.span("fock/rank", rank=0):
+            ...
+
+Spans form a tree (the nesting structure of the ``with`` statements);
+attributes such as ``rank`` and ``thread`` are inherited down the tree,
+which is what lets the Chrome-trace exporter place every span on the
+track of its simulated rank/thread.
+
+The disabled path is near-free: a tracer constructed with
+``enabled=False`` (or the module-level :data:`NULL_TRACER`) hands out a
+single shared no-op context manager from :meth:`Tracer.span`, so
+instrumented code pays one method call and no allocation per span.
+
+The wall clock defaults to :func:`time.perf_counter`; tests inject a
+deterministic fake clock through the ``clock`` parameter.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One traced region: a name, a wall-time interval, and attributes."""
+
+    __slots__ = ("name", "attrs", "start", "end", "parent", "children")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        start: float,
+        parent: "Span | None" = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: float | None = None
+        self.parent = parent
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Span wall seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for a root span)."""
+        d, s = 0, self.parent
+        while s is not None:
+            d, s = d + 1, s.parent
+        return d
+
+    def effective_attr(self, key: str, default: Any = None) -> Any:
+        """Attribute value, inherited from the nearest ancestor that set it."""
+        s: Span | None = self
+        while s is not None:
+            if key in s.attrs:
+                return s.attrs[key]
+            s = s.parent
+        return default
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, dur={self.duration:.6f}, "
+            f"attrs={self.attrs!r}, children={len(self.children)})"
+        )
+
+
+class _NullSpanContext:
+    """Shared no-op context manager handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._open(self._name, self._attrs)
+        return self.span
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close()
+        return False
+
+
+class Tracer:
+    """Span recorder with a current-span stack.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the tracer records nothing and :meth:`span`
+        returns a shared no-op context manager.
+    clock:
+        Monotonic second counter; :func:`time.perf_counter` by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext | _NullSpanContext:
+        """Open a named span for the duration of a ``with`` block."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def _open(self, name: str, attrs: dict[str, Any]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        s = Span(name, attrs, self.clock(), parent)
+        (parent.children if parent is not None else self.roots).append(s)
+        self._stack.append(s)
+        return s
+
+    def _close(self) -> None:
+        s = self._stack.pop()
+        s.end = self.clock()
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """Innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def walk(self) -> Iterator[Span]:
+        """All recorded spans, depth-first over the root forest."""
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def nspans(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def total_seconds(self) -> float:
+        """Sum of root-span durations (total traced wall time)."""
+        return sum(r.duration for r in self.roots)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans are discarded too)."""
+        self.roots.clear()
+        self._stack.clear()
+
+
+#: The shared disabled tracer installed by default.
+NULL_TRACER = Tracer(enabled=False)
+
+_current_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (:data:`NULL_TRACER` by default)."""
+    return _current_tracer
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install ``tracer`` globally; ``None`` restores :data:`NULL_TRACER`."""
+    global _current_tracer
+    _current_tracer = NULL_TRACER if tracer is None else tracer
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = _current_tracer
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
 from repro.parallel.dlb import DynamicLoadBalancer
 
 
@@ -48,6 +49,18 @@ class DDIStats:
         self.bytes_moved += nbytes
         if remote:
             self.remote_fraction_weighted += nbytes
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("ddi.bytes_moved").inc(nbytes)
+            if remote:
+                registry.counter("ddi.remote_bytes").inc(nbytes)
+
+
+def _meter_op(op: str) -> None:
+    """Count a one-sided DDI operation in the global metrics registry."""
+    registry = get_metrics()
+    if registry is not None:
+        registry.counter("ddi.ops", op=op).inc()
 
 
 class DDIArray:
@@ -104,6 +117,7 @@ class DDIArray:
     def put(self, rank: int, rows: slice, cols: slice, data: np.ndarray) -> None:
         """One-sided write of a patch (``ddi_put``)."""
         self.runtime.stats.puts += 1
+        _meter_op("put")
         for owner, view, lo in self._visit(rows, cols):
             seg = data[:, lo - cols.start : lo - cols.start + view.shape[1]]
             view[...] = seg
@@ -112,6 +126,7 @@ class DDIArray:
     def get(self, rank: int, rows: slice, cols: slice) -> np.ndarray:
         """One-sided read of a patch (``ddi_get``)."""
         self.runtime.stats.gets += 1
+        _meter_op("get")
         out = np.empty((rows.stop - rows.start, cols.stop - cols.start))
         for owner, view, lo in self._visit(rows, cols):
             out[:, lo - cols.start : lo - cols.start + view.shape[1]] = view
@@ -121,6 +136,7 @@ class DDIArray:
     def acc(self, rank: int, rows: slice, cols: slice, data: np.ndarray) -> None:
         """One-sided accumulate (``ddi_acc``) — the Fock-update primitive."""
         self.runtime.stats.accs += 1
+        _meter_op("acc")
         for owner, view, lo in self._visit(rows, cols):
             seg = data[:, lo - cols.start : lo - cols.start + view.shape[1]]
             view += seg

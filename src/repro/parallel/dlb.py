@@ -27,6 +27,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+
 _POLICIES = ("round_robin", "block", "cost_greedy")
 
 
@@ -100,6 +102,9 @@ class DynamicLoadBalancer:
         if cur >= len(queue):
             return None
         self._cursor[rank] = cur + 1
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("dlb.grants", rank=rank).inc()
         return queue[cur]
 
     def iter_rank(self, rank: int) -> Iterator[int]:

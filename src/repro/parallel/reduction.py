@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+
 #: Default padding (in doubles) appended to the leading dimension of
 #: thread-column buffers; 8 doubles = one 64-byte cache line, the
 #: false-sharing unit on KNL.
@@ -42,6 +44,10 @@ def tree_reduce_columns(buffer: np.ndarray, nrows: int) -> np.ndarray:
         the paper's reduction and has the usual improved rounding
         behaviour over sequential summation.
     """
+    registry = get_metrics()
+    if registry is not None:
+        registry.counter("reduction.tree_reduces").inc()
+        registry.histogram("reduction.tree_reduce_rows").observe(nrows)
     cols = [buffer[:nrows, t] for t in range(buffer.shape[1])]
     while len(cols) > 1:
         nxt = []
@@ -68,4 +74,8 @@ def flush_chunks(nrows: int, nthreads: int, chunk: int = PAD_DOUBLES) -> list[tu
         rng = range(start, min(start + chunk, nrows))
         out.append((c % nthreads, rng))
         c += 1
+    registry = get_metrics()
+    if registry is not None:
+        registry.counter("reduction.cooperative_flushes").inc()
+        registry.counter("reduction.flush_chunks").inc(len(out))
     return out

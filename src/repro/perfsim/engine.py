@@ -15,6 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
 #: Above this many tasks the closed-form makespan model is used.
 EXACT_SIM_LIMIT: int = 400_000
 
@@ -74,6 +77,31 @@ def assign_dynamic(
     n = costs.size
     if nranks < 1:
         raise ValueError("need at least one rank")
+    with get_tracer().span(
+        "perfsim/assign_dynamic", nranks=nranks, ntasks=int(n)
+    ):
+        result = _assign_dynamic(
+            costs, nranks,
+            per_task_overhead=per_task_overhead,
+            multiplicity=multiplicity,
+        )
+    registry = get_metrics()
+    if registry is not None:
+        registry.counter("perfsim.assignments").inc()
+        registry.counter("perfsim.tasks_assigned").inc(result.tasks_assigned)
+        registry.histogram("perfsim.imbalance").observe(result.imbalance)
+        registry.gauge("perfsim.last_makespan_s").set(result.makespan)
+    return result
+
+
+def _assign_dynamic(
+    costs: np.ndarray,
+    nranks: int,
+    *,
+    per_task_overhead: float,
+    multiplicity: int,
+) -> AssignmentResult:
+    n = costs.size
     if n == 0:
         return AssignmentResult(0.0, 0.0, 1.0, 0, True)
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
+from repro.obs.tracer import get_tracer
 from repro.scf.convergence import ConvergenceCriteria, density_rms_change
 from repro.scf.diis import DIIS
 from repro.scf.guess import (
@@ -168,29 +169,35 @@ class RHF:
         F = self.hcore.copy()
         converged = False
 
+        tracer = get_tracer()
         for it in range(1, self.criteria.max_iterations + 1):
-            F, stats = self.fock_builder(D)
-            e_elec = self.electronic_energy(D, F)
+            with tracer.span("scf/iteration", iteration=it):
+                F, stats = self.fock_builder(D)
+                e_elec = self.electronic_energy(D, F)
 
-            F_eff = F
-            if diis is not None:
-                err = DIIS.error_vector(F, D, self.S, self.X)
-                diis.push(F, err)
-                F_eff = diis.extrapolate()
+                F_eff = F
+                if diis is not None:
+                    with tracer.span("scf/diis", iteration=it):
+                        err = DIIS.error_vector(F, D, self.S, self.X)
+                        diis.push(F, err)
+                        F_eff = diis.extrapolate()
 
-            eps, C = diagonalize_fock(F_eff, self.X)
-            D_new = density_from_coefficients(C, self.nocc)
-            if self.damping is not None and (
-                diis is None or diis.nvectors < 2
-            ):
-                D_new = (1.0 - self.damping) * D_new + self.damping * D
+                with tracer.span("scf/diagonalize", iteration=it):
+                    eps, C = diagonalize_fock(F_eff, self.X)
+                D_new = density_from_coefficients(C, self.nocc)
+                if self.damping is not None and (
+                    diis is None or diis.nvectors < 2
+                ):
+                    D_new = (1.0 - self.damping) * D_new + self.damping * D
 
-            d_rms = density_rms_change(D_new, D)
-            de = e_elec - e_old
-            history.append(SCFIteration(it, e_elec + self.enuc, d_rms, de, stats))
+                d_rms = density_rms_change(D_new, D)
+                de = e_elec - e_old
+                history.append(
+                    SCFIteration(it, e_elec + self.enuc, d_rms, de, stats)
+                )
 
-            D = D_new
-            e_old = e_elec
+                D = D_new
+                e_old = e_elec
             if self.criteria.converged(d_rms, de) and it > 1:
                 converged = True
                 break

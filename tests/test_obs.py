@@ -1,0 +1,216 @@
+"""The repro.obs layer: tracer, metrics registry, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    get_metrics,
+    get_tracer,
+    metrics_ndjson,
+    profile_report,
+    spans_ndjson,
+    to_chrome_trace,
+    use_metrics,
+    use_tracer,
+)
+from repro.obs.tracer import NULL_TRACER, _NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+# -- tracer ------------------------------------------------------------------
+
+
+def test_span_nesting_and_timing():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", rank=1):
+        with tracer.span("inner", thread=2):
+            pass
+        with tracer.span("inner", thread=3):
+            pass
+    assert len(tracer.roots) == 1
+    outer = tracer.roots[0]
+    assert outer.name == "outer"
+    assert [c.name for c in outer.children] == ["inner", "inner"]
+    # Clock ticks: outer open=1, inner1 2..3, inner2 4..5, outer close=6.
+    assert outer.start == 1.0 and outer.end == 6.0
+    assert outer.duration == pytest.approx(5.0)
+    assert outer.children[0].duration == pytest.approx(1.0)
+    # Children lie strictly inside the parent interval.
+    for child in outer.children:
+        assert outer.start <= child.start <= child.end <= outer.end
+    assert outer.depth == 0 and outer.children[0].depth == 1
+
+
+def test_span_attribute_inheritance():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a", rank=3):
+        with tracer.span("b"):
+            with tracer.span("c", thread=1) as c:
+                assert c.effective_attr("rank") == 3
+                assert c.effective_attr("thread") == 1
+                assert c.effective_attr("missing", "dflt") == "dflt"
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    ctx1 = tracer.span("anything", rank=9)
+    ctx2 = tracer.span("else")
+    assert ctx1 is _NULL_SPAN and ctx2 is _NULL_SPAN  # shared singleton
+    with ctx1:
+        pass
+    assert tracer.roots == [] and tracer.nspans == 0
+    assert tracer.total_seconds() == 0.0
+
+
+def test_global_tracer_install_and_restore():
+    assert get_tracer() is NULL_TRACER
+    t = Tracer(clock=FakeClock())
+    with use_tracer(t):
+        assert get_tracer() is t
+        with get_tracer().span("x"):
+            pass
+    assert get_tracer() is NULL_TRACER
+    assert [s.name for s in t.walk()] == ["x"]
+
+
+def test_tracer_clear():
+    t = Tracer(clock=FakeClock())
+    with t.span("x"):
+        pass
+    t.clear()
+    assert t.roots == [] and t.current is None
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_series():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(4)
+    reg.gauge("g").set(2.5)
+    h = reg.histogram("h")
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    s = reg.series("s")
+    s.extend([10, 20])
+    assert reg.counter("c").value == 5
+    assert reg.gauge("g").value == 2.5
+    assert h.count == 3 and h.min == 1.0 and h.max == 3.0
+    assert h.mean == pytest.approx(2.0)
+    assert list(reg.series("s")) == [10, 20]
+    assert len(reg) == 4
+
+
+def test_labelled_metrics_are_distinct():
+    reg = MetricsRegistry()
+    reg.counter("dlb.grants", rank=0).inc(3)
+    reg.counter("dlb.grants", rank=1).inc(7)
+    snap = reg.snapshot()
+    assert snap["dlb.grants{rank=0}"] == 3
+    assert snap["dlb.grants{rank=1}"] == 7
+
+
+def test_metric_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError, match="already registered"):
+        reg.gauge("x")
+
+
+def test_global_metrics_install_and_restore():
+    assert get_metrics() is None
+    reg = MetricsRegistry()
+    with use_metrics(reg):
+        assert get_metrics() is reg
+    assert get_metrics() is None
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+@pytest.fixture()
+def traced():
+    tracer = Tracer(clock=FakeClock(0.5))
+    with tracer.span("scf/run", algorithm="shared-fock"):
+        with tracer.span("fock/build", rank=0):
+            with tracer.span("fock/kl", rank=0, thread=1):
+                pass
+        with tracer.span("fock/build", rank=1):
+            pass
+    return tracer
+
+
+def test_chrome_trace_schema(traced):
+    doc = to_chrome_trace(traced)
+    text = json.dumps(doc)  # must be JSON-serializable
+    assert json.loads(text) == doc
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 4
+    for e in complete:
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(e)
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    # rank -> pid, thread -> tid, inherited down the tree.
+    kl = next(e for e in complete if e["name"] == "fock/kl")
+    assert kl["pid"] == 0 and kl["tid"] == 1
+    build1 = [e for e in complete if e["name"] == "fock/build"]
+    assert sorted(e["pid"] for e in build1) == [0, 1]
+    # Track-naming metadata for every (pid, tid) used.
+    names = {(e["name"], e["pid"], e["tid"]) for e in meta}
+    assert ("process_name", 0, 0) in names
+    assert ("thread_name", 0, 1) in names
+
+
+def test_chrome_trace_empty_tracer():
+    assert chrome_trace_events(Tracer()) == []
+
+
+def test_profile_report_structure(traced):
+    report = profile_report(traced, title="test")
+    assert "traced total" in report
+    assert "scf/run" in report and "fock/kl" in report
+    # The root row accounts for 100% of the traced time.
+    root_line = next(ln for ln in report.splitlines() if "scf/run" in ln)
+    assert "100.0%" in root_line
+    # Children are indented under their parent.
+    kl_line = next(ln for ln in report.splitlines() if "fock/kl" in ln)
+    assert kl_line.startswith("    ")
+
+
+def test_spans_ndjson(traced):
+    lines = spans_ndjson(traced).splitlines()
+    assert len(lines) == 4
+    recs = [json.loads(ln) for ln in lines]
+    assert {r["span"] for r in recs} == {"scf/run", "fock/build", "fock/kl"}
+    for r in recs:
+        assert r["dur_s"] > 0 and r["start_s"] >= 0
+
+
+def test_metrics_ndjson_roundtrip():
+    reg = MetricsRegistry()
+    reg.counter("a", rank=0).inc(2)
+    reg.histogram("b").observe(1.5)
+    recs = [json.loads(ln) for ln in metrics_ndjson(reg).splitlines()]
+    assert recs[0] == {
+        "metric": "a", "kind": "counter", "labels": {"rank": 0}, "value": 2,
+    }
+    assert recs[1]["value"]["count"] == 1
