@@ -1,0 +1,171 @@
+"""ERI micro-benchmark: batched vs. scalar quartets/sec, cache hit rate.
+
+Standalone (CI-runnable) benchmark of the integral hot path on the
+d-shell graphene fixture — ``bilayer_graphene(1)`` in 6-31G(d), the
+smallest system exercising S, L (fused SP), and Cartesian d shells.
+Emits a machine-readable ``BENCH_eri.json`` record::
+
+    {
+      "quartets": ...,                  # surviving quartets measured
+      "scalar_quartets_per_s": ...,     # seed primitive-loop path
+      "batched_quartets_per_s": ...,    # one Boys call per quartet
+      "speedup": ...,                   # batched / scalar
+      "boys_calls_per_quartet": 1.0,    # proven by the metrics layer
+      "cache_hit_rate_cycle2": 1.0,     # semi-direct repeat cycle
+      ...
+    }
+
+Run directly (``python benchmarks/bench_eri_micro.py``) or via the CI
+benchmark smoke step, which uploads the JSON as an artifact so the
+repository's performance trajectory has data points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def _surviving_quartets(basis, tau=1e-10):
+    from repro.core.indexing import unique_quartets
+    from repro.core.screening import Screening
+    from repro.integrals.schwarz import schwarz_matrix
+
+    screening = Screening(schwarz_matrix(basis), tau)
+    return [
+        (i, j, k, l)
+        for (i, j, k, l) in unique_quartets(basis.nshells)
+        if screening.survives(i, j, k, l)
+    ]
+
+
+def _time_engine(basis, quartets, repeats):
+    """Best-of-``repeats`` wall seconds for one full quartet sweep."""
+    from repro.core.quartets import QuartetEngine
+
+    best = float("inf")
+    for _ in range(repeats):
+        engine = QuartetEngine(basis)
+        # Pair E-tensor preparation is amortized across an SCF run;
+        # warm it so the sweep times the quartet kernel itself.
+        for (i, j, k, l) in quartets:
+            engine.composite_block(i, j, k, l)
+        t0 = time.perf_counter()
+        engine2 = QuartetEngine(basis)
+        engine2._pure_pairs = engine._pure_pairs
+        for (i, j, k, l) in quartets:
+            engine2.composite_block(i, j, k, l)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(output: Path, repeats: int = 3) -> dict:
+    import repro.core.quartets as quartets_mod
+    from repro.chem.basis import BasisSet
+    from repro.chem.graphene import bilayer_graphene
+    from repro.core.quartets import QuartetEngine
+    from repro.integrals.cache import QuartetCache
+    from repro.integrals.eri import eri_shell_quartet, eri_shell_quartet_scalar
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+
+    basis = BasisSet(bilayer_graphene(1), "6-31g(d)")
+    quartets = _surviving_quartets(basis)
+    nquartets = len(quartets)
+
+    # Batched path (the production kernel), instrumented to prove the
+    # one-Boys-call-per-quartet contract.
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        batched_s = _time_engine(basis, quartets, repeats)
+    pure_quartets = registry.counter("eri.quartets").value
+    boys_calls = registry.counter("eri.boys_calls").value
+    batch_hist = registry.histogram("eri.batch_size")
+
+    # Scalar reference path (the seed primitive-loop kernel).
+    quartets_mod.eri_shell_quartet = eri_shell_quartet_scalar
+    try:
+        scalar_s = _time_engine(basis, quartets, repeats)
+    finally:
+        quartets_mod.eri_shell_quartet = eri_shell_quartet
+
+    # Semi-direct repeat cycle: everything served from the cache.
+    cache = QuartetCache.from_mb(256)
+    engine = QuartetEngine(basis, cache=cache)
+    for (i, j, k, l) in quartets:
+        engine.composite_block(i, j, k, l)
+    h0, m0 = cache.hits, cache.misses
+    t0 = time.perf_counter()
+    for (i, j, k, l) in quartets:
+        engine.composite_block(i, j, k, l)
+    cached_s = time.perf_counter() - t0
+    cycle2_hits = cache.hits - h0
+    cycle2_misses = cache.misses - m0
+
+    record = {
+        "name": "bench_eri_micro",
+        "fixture": "bilayer_graphene(1)/6-31g(d)",
+        "nshells": basis.nshells,
+        "nbf": basis.nbf,
+        "quartets": nquartets,
+        "scalar_wall_s": scalar_s,
+        "batched_wall_s": batched_s,
+        "cached_cycle2_wall_s": cached_s,
+        "scalar_quartets_per_s": nquartets / scalar_s,
+        "batched_quartets_per_s": nquartets / batched_s,
+        "cached_quartets_per_s": nquartets / cached_s if cached_s > 0 else None,
+        "speedup": scalar_s / batched_s,
+        "boys_calls_per_quartet": boys_calls / pure_quartets,
+        "mean_primitive_batch_size": batch_hist.mean,
+        "max_primitive_batch_size": batch_hist.max,
+        "cache_hit_rate_cycle2": cycle2_hits / (cycle2_hits + cycle2_misses),
+        "cycle2_quartets_evaluated": cycle2_misses,
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_eri.json",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) unless the batched path is >= 2x the scalar "
+             "path, exactly one Boys call per quartet was recorded, and "
+             "the cycle-2 cache hit rate is 100%%",
+    )
+    args = parser.parse_args(argv)
+
+    record = run(args.output, repeats=args.repeats)
+    print(f"fixture                : {record['fixture']}")
+    print(f"surviving quartets     : {record['quartets']}")
+    print(f"scalar                 : {record['scalar_quartets_per_s']:.1f} quartets/s")
+    print(f"batched                : {record['batched_quartets_per_s']:.1f} quartets/s")
+    print(f"cached (cycle 2)       : {record['cached_quartets_per_s']:.1f} quartets/s")
+    print(f"speedup (batched)      : {record['speedup']:.2f}x")
+    print(f"boys calls / quartet   : {record['boys_calls_per_quartet']:.3f}")
+    print(f"cycle-2 cache hit rate : {100 * record['cache_hit_rate_cycle2']:.1f}%")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        ok = (
+            record["speedup"] >= 2.0
+            and record["boys_calls_per_quartet"] == 1.0
+            and record["cache_hit_rate_cycle2"] == 1.0
+            and record["cycle2_quartets_evaluated"] == 0
+        )
+        if not ok:
+            print("CHECK FAILED", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,24 @@ TARGETS = (
 )
 
 
+def _add_cache_args(sub: argparse.ArgumentParser) -> None:
+    """Semi-direct SCF knobs shared by the ``scf`` and ``profile`` commands."""
+    sub.add_argument(
+        "--eri-cache-mb", type=float, default=64.0, metavar="MB",
+        help="byte budget of the cross-cycle quartet ERI cache "
+             "(default: 64 MB; LRU eviction once the budget is exceeded)",
+    )
+    sub.add_argument(
+        "--no-eri-cache", action="store_true",
+        help="disable the quartet cache (fully direct SCF: every cycle "
+             "re-evaluates every surviving quartet)",
+    )
+
+
+def _cache_mb(args: argparse.Namespace) -> float | None:
+    return None if args.no_eri_cache else args.eri_cache_mb
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -43,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     scf.add_argument("--charge", type=int, default=0)
     scf.add_argument("--uhf", action="store_true")
     scf.add_argument("--multiplicity", type=int, default=1)
+    _add_cache_args(scf)
 
     prof = sub.add_parser(
         "profile",
@@ -61,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", type=Path, default=Path("profile_out"),
         help="directory for trace.json / profile.txt / metrics.ndjson",
     )
+    _add_cache_args(prof)
 
     ds = sub.add_parser("dataset", help="describe a benchmark dataset")
     ds.add_argument("label", choices=DATASETS)
@@ -96,7 +116,8 @@ def cmd_scf(args: argparse.Namespace) -> int:
 
         h = kinetic_matrix(basis) + nuclear_matrix(basis)
         builder = UHFPrivateFockBuilder(
-            basis, h, nranks=args.ranks, nthreads=args.threads
+            basis, h, nranks=args.ranks, nthreads=args.threads,
+            eri_cache_mb=_cache_mb(args),
         )
         res = UHF(basis, multiplicity=args.multiplicity,
                   fock_builder=builder).run()
@@ -108,7 +129,8 @@ def cmd_scf(args: argparse.Namespace) -> int:
     from repro.core.scf_driver import ParallelSCF
 
     res = ParallelSCF(
-        basis, args.algorithm, nranks=args.ranks, nthreads=args.threads
+        basis, args.algorithm, nranks=args.ranks, nthreads=args.threads,
+        eri_cache_mb=_cache_mb(args),
     ).run()
     print(f"RHF energy   : {res.energy:.10f} Eh "
           f"(converged={res.converged}, {res.scf.niterations} iterations)")
@@ -116,6 +138,14 @@ def cmd_scf(args: argparse.Namespace) -> int:
     print(f"Fock build   : {stats.quartets_computed} quartets, "
           f"{stats.quartets_screened} screened, algorithm {stats.algorithm}, "
           f"{stats.nranks} ranks x {stats.nthreads} threads")
+    if not args.no_eri_cache:
+        hits = sum(s.eri_cache_hits for s in res.fock_stats)
+        misses = sum(s.eri_cache_misses for s in res.fock_stats)
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        print(f"ERI cache    : {hits} hits / {misses} misses "
+              f"({rate:.1f}% hit rate, last cycle "
+              f"{100.0 * stats.eri_cache_hit_rate:.1f}%)")
     return 0 if res.converged else 1
 
 
@@ -150,7 +180,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     # Setup (integrals, Schwarz matrix) stays outside the measured
     # window so the traced span total is comparable to the SCF wall.
     scf = ParallelSCF(
-        basis, args.algorithm, nranks=args.ranks, nthreads=nthreads
+        basis, args.algorithm, nranks=args.ranks, nthreads=nthreads,
+        eri_cache_mb=_cache_mb(args),
     )
     tracer = Tracer()
     registry = MetricsRegistry()

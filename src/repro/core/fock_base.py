@@ -19,6 +19,7 @@ import numpy as np
 from repro.chem.basis.basisset import BasisSet
 from repro.core.quartets import QuartetEngine, symmetrize_two_electron
 from repro.core.screening import DEFAULT_TAU, Screening
+from repro.integrals.cache import QuartetCache
 from repro.integrals.schwarz import schwarz_matrix
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.parallel.comm import SimWorld
@@ -33,6 +34,9 @@ _SCALAR_FIELDS = (
     "reduce_bytes",
     "races",
     "writes_checked",
+    "eri_cache_hits",
+    "eri_cache_misses",
+    "eri_cache_evictions",
 )
 _SERIES_FIELDS = ("per_rank_quartets", "per_thread_quartets")
 
@@ -96,6 +100,9 @@ class FockBuildStats:
         reduce_bytes: int = 0,
         races: int = 0,
         writes_checked: int = 0,
+        eri_cache_hits: int = 0,
+        eri_cache_misses: int = 0,
+        eri_cache_evictions: int = 0,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.algorithm = algorithm
@@ -109,6 +116,9 @@ class FockBuildStats:
         self.reduce_bytes = reduce_bytes
         self.races = races
         self.writes_checked = writes_checked
+        self.eri_cache_hits = eri_cache_hits
+        self.eri_cache_misses = eri_cache_misses
+        self.eri_cache_evictions = eri_cache_evictions
         self.per_rank_quartets = list(per_rank_quartets or [])
         self.per_thread_quartets = list(per_thread_quartets or [])
 
@@ -119,6 +129,9 @@ class FockBuildStats:
     reduce_bytes = _counter_property("reduce_bytes")
     races = _counter_property("races")
     writes_checked = _counter_property("writes_checked")
+    eri_cache_hits = _counter_property("eri_cache_hits")
+    eri_cache_misses = _counter_property("eri_cache_misses")
+    eri_cache_evictions = _counter_property("eri_cache_evictions")
     per_rank_quartets = _series_property("per_rank_quartets")
     per_thread_quartets = _series_property("per_thread_quartets")
 
@@ -126,6 +139,12 @@ class FockBuildStats:
     def total_quartets(self) -> int:
         """Computed plus screened-out quartets (the full unique space)."""
         return self.quartets_computed + self.quartets_screened
+
+    @property
+    def eri_cache_hit_rate(self) -> float:
+        """Quartet-cache hit rate of this build (0.0 with no cache)."""
+        total = self.eri_cache_hits + self.eri_cache_misses
+        return self.eri_cache_hits / total if total else 0.0
 
     @property
     def rank_imbalance(self) -> float:
@@ -150,6 +169,7 @@ class FockBuildStats:
             out[field] = list(getattr(self, field))
         out["rank_imbalance"] = self.rank_imbalance
         out["thread_imbalance"] = self.thread_imbalance
+        out["eri_cache_hit_rate"] = self.eri_cache_hit_rate
         return out
 
     def _as_tuple(self) -> tuple:
@@ -193,6 +213,14 @@ class ParallelFockBuilderBase:
         omitted, the exact Schwarz matrix is computed.
     tau:
         Integral threshold used when ``screening`` is omitted.
+    eri_cache:
+        A prepared :class:`~repro.integrals.cache.QuartetCache` shared
+        with the quartet engine; repeat SCF cycles then serve quartet
+        ERI blocks from memory (semi-direct SCF).
+    eri_cache_mb:
+        Convenience knob: when ``eri_cache`` is omitted and this is a
+        positive MB budget, a cache of that size is created.  ``None``
+        (the default) disables caching — the build stays fully direct.
     dlb_policy:
         Grant policy of the simulated DDI counter (``round_robin`` /
         ``block`` / ``cost_greedy``).
@@ -213,6 +241,8 @@ class ParallelFockBuilderBase:
         nthreads: int = 1,
         screening: Screening | None = None,
         tau: float = DEFAULT_TAU,
+        eri_cache: QuartetCache | None = None,
+        eri_cache_mb: float | None = None,
         dlb_policy: str = "round_robin",
         thread_schedule: str = "dynamic",
         thread_chunk: int = 1,
@@ -224,7 +254,10 @@ class ParallelFockBuilderBase:
         self.hcore = np.asarray(hcore, dtype=np.float64)
         self.nranks = nranks
         self.nthreads = nthreads
-        self.engine = QuartetEngine(basis)
+        if eri_cache is None and eri_cache_mb is not None and eri_cache_mb > 0:
+            eri_cache = QuartetCache.from_mb(eri_cache_mb)
+        self.eri_cache = eri_cache
+        self.engine = QuartetEngine(basis, cache=eri_cache)
         if screening is None:
             screening = Screening(schwarz_matrix(basis), tau)
         self.screening = screening
@@ -238,11 +271,27 @@ class ParallelFockBuilderBase:
     # Subclasses implement __call__(density) -> (fock, stats).
 
     def _new_stats(self) -> FockBuildStats:
+        cache = self.eri_cache
+        self._cache_mark = (
+            (cache.hits, cache.misses, cache.evictions)
+            if cache is not None
+            else (0, 0, 0)
+        )
         return FockBuildStats(
             algorithm=self.algorithm_name,
             nranks=self.nranks,
             nthreads=self.nthreads,
         )
+
+    def _capture_cache_stats(self, stats: FockBuildStats) -> None:
+        """Record this build's quartet-cache deltas onto ``stats``."""
+        cache = self.eri_cache
+        if cache is None:
+            return
+        h0, m0, e0 = self._cache_mark
+        stats.eri_cache_hits = cache.hits - h0
+        stats.eri_cache_misses = cache.misses - m0
+        stats.eri_cache_evictions = cache.evictions - e0
 
     def _new_tracker(self) -> WriteTracker | None:
         if not self.track_races:
@@ -274,5 +323,6 @@ class ParallelFockBuilderBase:
             if tr is not None:
                 stats.races += len(tr.races)
                 stats.writes_checked += tr.writes_checked
+        self._capture_cache_stats(stats)
         self._record_global(stats)
         return self.hcore + G, stats

@@ -73,6 +73,7 @@ class DistributedDataFockBuilder(ParallelFockBuilderBase):
         stats.per_rank_quartets = per_rank
         stats.quartets_computed = sum(per_rank)
         stats.reduce_bytes = ddi.stats.bytes_moved
+        self._capture_cache_stats(stats)
         W = w_dist.to_dense()
         F = self.hcore + W + W.T
 

@@ -86,6 +86,7 @@ class UHFPrivateFockBuilder(ParallelFockBuilderBase):
         world.execute(rank_main)
         stats.quartets_computed = sum(stats.per_rank_quartets)
         stats.reduce_bytes = world.stats.reduce_bytes
+        self._capture_cache_stats(stats)
         wa, wb = results[0]
         fa = self.hcore + wa + wa.T
         fb = self.hcore + wb + wb.T

@@ -33,9 +33,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
-from repro.chem.basis.shell import CompositeShell, Shell
+from repro.chem.basis.shell import Shell
 from repro.core.indexing import quartet_degeneracy_factor
+from repro.integrals.cache import QuartetCache
 from repro.integrals.eri import ShellPair, eri_shell_quartet
+from repro.obs.tracer import get_tracer
 
 
 def symmetrize_two_electron(W: np.ndarray) -> np.ndarray:
@@ -52,20 +54,40 @@ class QuartetEngine:
         The AO basis.  Pure-shell pair data (Hermite E matrices) is
         built lazily and cached per pair, so only pairs that survive
         screening are ever prepared.
+    cache:
+        Optional :class:`~repro.integrals.cache.QuartetCache`.  When
+        given, :meth:`composite_block` serves repeat quartets from the
+        cache (semi-direct SCF): cycles after the first skip integral
+        evaluation entirely for every block still resident.
     """
 
-    def __init__(self, basis: BasisSet) -> None:
+    def __init__(self, basis: BasisSet, cache: QuartetCache | None = None) -> None:
         self.basis = basis
         self.composites = basis.composite_shells
+        self.cache = cache
         self._pure_pairs: dict[tuple[int, int], ShellPair] = {}
-        # Map pure shells to stable ids for pair caching.
-        self._pure_index = {id(s): n for n, s in enumerate(basis.shells)}
+        # Global pure-shell position of every composite sub-shell: the
+        # pair cache is keyed by *position in the basis*, so equal-but-
+        # distinct Shell instances (or re-derived shell tuples) can
+        # never silently miss or KeyError the way id()-keying could.
+        positions: list[tuple[int, ...]] = []
+        n = 0
+        for comp in self.composites:
+            positions.append(tuple(range(n, n + len(comp.subshells))))
+            n += len(comp.subshells)
+        if n != len(basis.shells):
+            raise ValueError(
+                "composite sub-shells do not tile basis.shells "
+                f"({n} != {len(basis.shells)})"
+            )
+        self._subshell_positions: tuple[tuple[int, ...], ...] = tuple(positions)
         self.quartets_computed = 0
+        self.quartets_from_cache = 0
 
     # -- ERI blocks -----------------------------------------------------
 
-    def _pure_pair(self, sa: Shell, sb: Shell) -> ShellPair:
-        key = (self._pure_index[id(sa)], self._pure_index[id(sb)])
+    def _pure_pair(self, ia: int, sa: Shell, ib: int, sb: Shell) -> ShellPair:
+        key = (ia, ib)
         pair = self._pure_pairs.get(key)
         if pair is None:
             pair = ShellPair(sa, sb)
@@ -75,6 +97,9 @@ class QuartetEngine:
     def composite_block(self, I: int, J: int, K: int, L: int) -> np.ndarray:
         """ERI block over composite shells ``(I J | K L)``.
 
+        With a cache attached, a repeat quartet returns the stored
+        (read-only) block without touching the integral kernels.
+
         Returns
         -------
         numpy.ndarray
@@ -82,30 +107,42 @@ class QuartetEngine:
             sub-shell quartets (an L shell contributes its S and P
             sub-blocks at the proper offsets).
         """
-        cI, cJ, cK, cL = (self.composites[x] for x in (I, J, K, L))
-        out = np.zeros((cI.nfunc, cJ.nfunc, cK.nfunc, cL.nfunc))
-        oi = 0
-        for sa in cI.subshells:
-            oj = 0
-            for sb in cJ.subshells:
-                bra = self._pure_pair(sa, sb)
-                ok = 0
-                for sc in cK.subshells:
-                    ol = 0
-                    for sd in cL.subshells:
-                        ket = self._pure_pair(sc, sd)
-                        out[
-                            oi : oi + sa.nfunc,
-                            oj : oj + sb.nfunc,
-                            ok : ok + sc.nfunc,
-                            ol : ol + sd.nfunc,
-                        ] = eri_shell_quartet(bra, ket)
-                        ol += sd.nfunc
-                    ok += sc.nfunc
-                ol = 0
-                oj += sb.nfunc
-            oi += sa.nfunc
+        if self.cache is not None:
+            block = self.cache.get((I, J, K, L))
+            if block is not None:
+                self.quartets_from_cache += 1
+                return block
+        block = self._evaluate_block(I, J, K, L)
         self.quartets_computed += 1
+        if self.cache is not None:
+            self.cache.put((I, J, K, L), block)
+        return block
+
+    def _evaluate_block(self, I: int, J: int, K: int, L: int) -> np.ndarray:
+        cI, cJ, cK, cL = (self.composites[x] for x in (I, J, K, L))
+        pI, pJ, pK, pL = (self._subshell_positions[x] for x in (I, J, K, L))
+        out = np.zeros((cI.nfunc, cJ.nfunc, cK.nfunc, cL.nfunc))
+        with get_tracer().span("eri/quartet_batch"):
+            oi = 0
+            for ia, sa in zip(pI, cI.subshells):
+                oj = 0
+                for jb, sb in zip(pJ, cJ.subshells):
+                    bra = self._pure_pair(ia, sa, jb, sb)
+                    ok = 0
+                    for kc, sc in zip(pK, cK.subshells):
+                        ol = 0
+                        for ld, sd in zip(pL, cL.subshells):
+                            ket = self._pure_pair(kc, sc, ld, sd)
+                            out[
+                                oi : oi + sa.nfunc,
+                                oj : oj + sb.nfunc,
+                                ok : ok + sc.nfunc,
+                                ol : ol + sd.nfunc,
+                            ] = eri_shell_quartet(bra, ket)
+                            ol += sd.nfunc
+                        ok += sc.nfunc
+                    oj += sb.nfunc
+                oi += sa.nfunc
         return out
 
     # -- Fock scattering ---------------------------------------------------

@@ -30,6 +30,7 @@ Three roles:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -73,14 +74,12 @@ class Screening:
 
         Used by density-aware (incremental) screening: a small density
         change lets the effective threshold rise without recomputing any
-        bounds.
+        bounds.  The clone shallow-copies *every* attribute (sharing the
+        Schwarz arrays) so fields added to ``__init__`` later can never
+        be silently missing on incremental-SCF clones.
         """
-        clone = object.__new__(Screening)
-        clone.Q = self.Q
+        clone = copy.copy(self)
         clone.tau = float(tau)
-        clone.qmax = self.qmax
-        clone.nshells = self.nshells
-        clone.pair_q = self.pair_q
         return clone
 
     def survives(self, i: int, j: int, k: int, l: int) -> bool:

@@ -9,21 +9,32 @@ over contracted Cartesian Gaussian shells:
 * :mod:`repro.integrals.overlap` / ``kinetic`` / ``nuclear`` —
   one-electron shell-pair kernels.
 * :mod:`repro.integrals.eri` — two-electron repulsion integrals over
-  shell quartets, plus contracted-shell pair caching.
+  shell quartets (batched primitive evaluation), plus contracted-shell
+  pair caching.
+* :mod:`repro.integrals.cache` — memory-bounded LRU cache of quartet
+  ERI blocks (semi-direct SCF).
 * :mod:`repro.integrals.schwarz` — exact Cauchy-Schwarz bounds
   :math:`Q_{ij} = \\sqrt{(ij|ij)}` over composite shells.
 * :mod:`repro.integrals.onee` — full S, T, V matrix drivers.
 """
 
 from repro.integrals.boys import boys
-from repro.integrals.eri import ShellPair, eri_shell_quartet, make_shell_pairs
+from repro.integrals.cache import QuartetCache
+from repro.integrals.eri import (
+    ShellPair,
+    eri_shell_quartet,
+    eri_shell_quartet_scalar,
+    make_shell_pairs,
+)
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
 from repro.integrals.schwarz import schwarz_matrix
 
 __all__ = [
     "boys",
+    "QuartetCache",
     "ShellPair",
     "eri_shell_quartet",
+    "eri_shell_quartet_scalar",
     "make_shell_pairs",
     "overlap_matrix",
     "kinetic_matrix",

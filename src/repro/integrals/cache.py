@@ -1,0 +1,124 @@
+"""Memory-bounded LRU cache of evaluated ERI shell-quartet blocks.
+
+Direct SCF re-evaluates every surviving shell quartet each cycle; with
+this cache wired into :class:`~repro.core.quartets.QuartetEngine`, the
+SCF becomes *semi-direct*: quartet blocks evaluated in cycle 1 are
+served from memory in cycles 2..N (for as long as the byte budget
+holds), so repeat cycles skip integral recomputation entirely for
+cached blocks.  This compounds with incremental-Fock density screening,
+which only ever *shrinks* the surviving quartet set on later cycles.
+
+The cache is keyed on the composite-shell quartet ``(I, J, K, L)`` —
+stable across cycles because the basis (and hence the quartet index
+space) is fixed for a given SCF.  Eviction is least-recently-used under
+a configurable byte budget; a block larger than the whole budget is
+simply not cached.  Cached arrays are marked read-only so an accidental
+in-place mutation by a consumer raises instead of corrupting every
+later cycle.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+#: Default cache budget (bytes): enough for every quartet of the small
+#: validation systems while staying irrelevant next to the O(nbf^2)
+#: matrices of benchmark-scale runs.
+DEFAULT_CACHE_BYTES: int = 64 * 1024 * 1024
+
+QuartetKey = tuple[int, int, int, int]
+
+
+class QuartetCache:
+    """LRU store of quartet ERI blocks under a byte budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget over the summed ``nbytes`` of the stored blocks.
+        Must be positive; use :meth:`from_mb` for the CLI's MB knob.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        max_bytes = int(max_bytes)
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self._store: OrderedDict[QuartetKey, np.ndarray] = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @classmethod
+    def from_mb(cls, megabytes: float) -> "QuartetCache":
+        """Construct from a budget in MB (the ``--eri-cache-mb`` knob)."""
+        return cls(int(megabytes * 1024 * 1024))
+
+    def get(self, key: QuartetKey) -> np.ndarray | None:
+        """The cached block, refreshed to most-recently-used, or None."""
+        block = self._store.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, key: QuartetKey, block: np.ndarray) -> None:
+        """Insert a block, evicting least-recently-used entries to fit.
+
+        The array is marked read-only; callers treat quartet blocks as
+        immutable (contractions allocate their own outputs).
+        """
+        nbytes = block.nbytes
+        if nbytes > self.max_bytes:
+            return  # would evict everything and still not fit
+        old = self._store.pop(key, None)
+        if old is not None:
+            self.bytes -= old.nbytes
+        block.flags.writeable = False
+        self._store[key] = block
+        self.bytes += nbytes
+        while self.bytes > self.max_bytes:
+            _, evicted = self._store.popitem(last=False)
+            self.bytes -= evicted.nbytes
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they are lifetime totals)."""
+        self._store.clear()
+        self.bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses) over the cache lifetime; 0.0 if unused."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: QuartetKey) -> bool:
+        return key in self._store
+
+    def stats(self) -> dict[str, int | float]:
+        """JSON-ready counter snapshot."""
+        return {
+            "entries": len(self._store),
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QuartetCache(entries={len(self._store)}, "
+            f"bytes={self.bytes}/{self.max_bytes}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

@@ -10,25 +10,42 @@ The quartet kernel follows the factorized form
              E^{cd}_{\\tau\\nu\\phi}
              R^0_{t+\\tau,\\,u+\\nu,\\,v+\\phi}(\\alpha, P - Q),
 
-with :math:`\\alpha = pq/(p+q)`.  Per contracted shell *pair* the bra
-E-product matrices are precomputed once (:class:`ShellPair`), so a
-quartet evaluation reduces to one Hermite Coulomb tensor plus two small
-matrix products per primitive pair combination — the same
-pair-precomputation strategy production integral codes use.
+with :math:`\\alpha = pq/(p+q)`.  Per contracted shell *pair* the
+E-product matrices are precomputed once (:class:`ShellPair`) — for the
+bra role as-is, for the ket role with the :math:`(-1)^{\\tau+\\nu+\\phi}`
+parity signs folded in — the same pair-precomputation strategy
+production integral codes use.
+
+The quartet evaluation itself is **batched**: all bra x ket primitive
+pair combinations are stacked into one array of
+``(reduced exponent, P - Q)`` points, the Hermite Coulomb tensors for
+the whole batch come from one call to
+:func:`~repro.integrals.hermite.hermite_coulomb_batch` (hence ONE
+vectorized Boys evaluation per quartet), and the two E contractions
+collapse into two BLAS-backed ``tensordot`` calls.  This is the Python
+analogue of the paper's vectorized ``twoei`` kernel.
+:func:`eri_shell_quartet_scalar` keeps the pre-batching primitive-loop
+evaluation as the numerical reference.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.chem.basis.shell import Shell
-from repro.integrals.hermite import e_coefficients_3d, hermite_coulomb
+from repro.integrals.hermite import (
+    e_coefficients_3d,
+    hermite_coulomb,
+    hermite_coulomb_batch,
+)
+from repro.obs.metrics import get_metrics
 
 #: Cache of Hermite (t,u,v) cube index arrays keyed by cube edge length.
 _TUV_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+_TWO_PI_POW = 2.0 * math.pi ** 2.5
 
 
 def _tuv_indices(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -42,26 +59,19 @@ def _tuv_indices(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         return entry
 
 
-@dataclass(frozen=True)
-class _PrimitivePairData:
-    """Precomputed data for one primitive pair of a shell pair."""
-
-    p: float          # total exponent a + b
-    P: np.ndarray     # Gaussian product center
-    coef: float       # product of contraction coefficients
-    ebra: np.ndarray  # (nfa * nfb, ncube) Hermite E-product matrix
-
-
 class ShellPair:
     """Precomputed Hermite expansion data for a contracted shell pair.
 
     Parameters
     ----------
     sha, shb:
-        The two pure shells.  The pair stores, for every primitive
-        combination, the Gaussian-product data and the dense E-product
-        matrix mapping Hermite (t,u,v) components to Cartesian function
-        pairs.
+        The two pure shells.  The pair stores the Gaussian-product data
+        of every primitive combination as stacked arrays — exponents
+        ``p``, product centers ``P``, coefficient products ``coef``, and
+        the dense E-product tensor ``ebra`` mapping Hermite (t,u,v)
+        components to Cartesian function pairs — plus ``eket``, the same
+        tensor with the ket parity signs :math:`(-1)^{t+u+v}` folded in
+        once (so no per-quartet sign multiply survives on the hot path).
     """
 
     def __init__(self, sha: Shell, shb: Shell) -> None:
@@ -75,31 +85,34 @@ class ShellPair:
         tt, uu, vv = _tuv_indices(self.ncube)
 
         comps_a, comps_b = sha.components, shb.components
-        prims: list[_PrimitivePairData] = []
         A, B = sha.center, shb.center
+        nprim = sha.nprim * shb.nprim
+        self.nprim = nprim
+        self.p = np.empty(nprim)
+        self.P = np.empty((nprim, 3))
+        self.coef = np.empty(nprim)
+        self.ebra = np.empty((nprim, self.nfunc_pair, tt.size))
+        n = 0
         for a, ca in zip(sha.exps, sha.coefs):
             for b, cb in zip(shb.exps, shb.coefs):
                 Ex, Ey, Ez = e_coefficients_3d(la, lb, a, b, A, B)
-                ebra = np.empty((self.nfunc_pair, tt.size))
                 row = 0
                 for (ax, ay, az) in comps_a:
                     for (bx, by, bz) in comps_b:
-                        ebra[row] = (
+                        self.ebra[n, row] = (
                             Ex[ax, bx, tt] * Ey[ay, by, uu] * Ez[az, bz, vv]
                         )
                         row += 1
                 p = a + b
-                prims.append(
-                    _PrimitivePairData(p, (a * A + b * B) / p, ca * cb, ebra)
-                )
-        self.prims: tuple[_PrimitivePairData, ...] = tuple(prims)
+                self.p[n] = p
+                self.P[n] = (a * A + b * B) / p
+                self.coef[n] = ca * cb
+                n += 1
 
-        # Ket-side sign vector (-1)^(t+u+v) on the flattened cube.
+        # Ket-side parity signs (-1)^(t+u+v), folded into the E tensor
+        # once per pair instead of once per quartet x primitive pair.
         self._ket_signs = ((-1.0) ** (tt + uu + vv)).astype(np.float64)
-
-    def ket_matrices(self) -> list[np.ndarray]:
-        """E-product matrices with ket parity signs folded in."""
-        return [pp.ebra * self._ket_signs[None, :] for pp in self.prims]
+        self.eket = self.ebra * self._ket_signs[None, None, :]
 
 
 def make_shell_pairs(shells: tuple[Shell, ...] | list[Shell]) -> dict[tuple[int, int], ShellPair]:
@@ -120,6 +133,12 @@ def eri_shell_quartet(
     bra: ShellPair, ket: ShellPair
 ) -> np.ndarray:
     """Contracted ERI block :math:`(ab|cd)` for one shell quartet.
+
+    Batched evaluation: the ``nprim_bra * nprim_ket`` primitive-pair
+    combinations are evaluated as ONE
+    :func:`~repro.integrals.hermite.hermite_coulomb_batch` call (a
+    single vectorized Boys evaluation), then contracted against the
+    precomputed bra/ket E tensors with two ``tensordot`` calls.
 
     Parameters
     ----------
@@ -143,24 +162,69 @@ def eri_shell_quartet(
     ui = ub[:, None] + uk[None, :]
     vi = vb[:, None] + vk[None, :]
 
+    # Stack every bra x ket primitive combination into one batch.
+    p = bra.p[:, None]
+    q = ket.p[None, :]
+    psum = p + q
+    alpha = (p * q / psum).ravel()
+    PQ = (bra.P[:, None, :] - ket.P[None, :, :]).reshape(-1, 3)
+
+    R = hermite_coulomb_batch(ltot, alpha, PQ)
+    M = R[:, ti, ui, vi]  # (nprim_bra * nprim_ket, ncube_bra^3, ncube_ket^3)
+
+    pref = (
+        _TWO_PI_POW
+        * bra.coef[:, None]
+        * ket.coef[None, :]
+        / (p * q * np.sqrt(psum))
+    )
+    M *= pref.reshape(-1, 1, 1)
+    M = M.reshape(bra.nprim, ket.nprim, ti.shape[0], ti.shape[1])
+
+    registry = get_metrics()
+    if registry is not None:
+        registry.counter("eri.quartets").inc()
+        registry.counter("eri.boys_calls").inc()
+        registry.histogram("eri.batch_size").observe(alpha.size)
+
+    # out[a, b] = sum_{ij} ebra[i, a, c] M[i, j, c, d] eket[j, b, d]
+    K = np.tensordot(M, ket.eket, axes=([1, 3], [0, 2]))  # (nprim_b, cb, nfk)
+    out = np.tensordot(bra.ebra, K, axes=([0, 2], [0, 1]))  # (nfb_pair, nfk_pair)
+
+    return out.reshape(
+        bra.sha.nfunc, bra.shb.nfunc, ket.sha.nfunc, ket.shb.nfunc
+    )
+
+
+def eri_shell_quartet_scalar(bra: ShellPair, ket: ShellPair) -> np.ndarray:
+    """Pre-batching reference: scalar primitive loops, one Boys call each.
+
+    Numerically this is the seed implementation (same per-primitive
+    arithmetic and accumulation order); it exists as the reference the
+    property tests and the ERI micro-benchmark compare the batched path
+    against.
+    """
+    ltot = bra.ltot + ket.ltot
+    nb, nk = bra.ncube, ket.ncube
+    tb, ub, vb = _tuv_indices(nb)
+    tk, uk, vk = _tuv_indices(nk)
+    ti = tb[:, None] + tk[None, :]
+    ui = ub[:, None] + uk[None, :]
+    vi = vb[:, None] + vk[None, :]
+
     out = np.zeros((bra.nfunc_pair, ket.nfunc_pair))
-    ket_signs = ket._ket_signs
-    for bp in bra.prims:
-        p, P, cb_coef, ebra = bp.p, bp.P, bp.coef, bp.ebra
-        for kp in ket.prims:
-            q, Q, ck_coef = kp.p, kp.P, kp.coef
+    for i in range(bra.nprim):
+        p, P, cb_coef = bra.p[i], bra.P[i], bra.coef[i]
+        ebra = bra.ebra[i]
+        for j in range(ket.nprim):
+            q, Q, ck_coef = ket.p[j], ket.P[j], ket.coef[j]
             alpha = p * q / (p + q)
             R = hermite_coulomb(ltot, alpha, P - Q)
             M = R[ti, ui, vi]
             pref = (
-                cb_coef
-                * ck_coef
-                * 2.0
-                * math.pi ** 2.5
-                / (p * q * math.sqrt(p + q))
+                cb_coef * ck_coef * _TWO_PI_POW / (p * q * math.sqrt(p + q))
             )
-            eket = kp.ebra * ket_signs[None, :]
-            out += pref * (ebra @ M @ eket.T)
+            out += pref * (ebra @ M @ ket.eket[j].T)
 
     return out.reshape(
         bra.sha.nfunc, bra.shb.nfunc, ket.sha.nfunc, ket.shb.nfunc

@@ -1,0 +1,111 @@
+"""Batched ERI path: property tests against the scalar reference.
+
+The batched kernel (one vectorized Boys call per quartet, stacked
+primitive-pair Hermite recursion, BLAS contractions) must match the
+pre-batching scalar path — kept as
+:func:`~repro.integrals.eri.eri_shell_quartet_scalar` — to tight
+absolute tolerance over random exponents and centers up to f shells.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chem.basis.shell import Shell, normalize_contracted
+from repro.integrals.eri import (
+    ShellPair,
+    eri_shell_quartet,
+    eri_shell_quartet_scalar,
+)
+from repro.integrals.hermite import hermite_coulomb, hermite_coulomb_batch
+from repro.obs.metrics import MetricsRegistry, use_metrics
+
+#: Angular momenta covered by the randomized quartet sweep (s..f).
+LMAX = 3
+
+
+def _random_shell(rng, l, nprim, box=1.5):
+    exps = rng.uniform(0.08, 4.0, nprim)
+    raw = rng.uniform(0.2, 1.0, nprim)
+    coefs = normalize_contracted(l, exps, raw)
+    center = rng.uniform(-box, box, 3)
+    return Shell(l, exps, coefs, center)
+
+
+@pytest.mark.parametrize("lmax", [0, 1, 2, 4, 6, 9, 4 * LMAX])
+def test_hermite_coulomb_batch_matches_scalar(lmax):
+    """R^0_{tuv} batch == per-point scalar recursion to <= 1e-13."""
+    rng = np.random.default_rng(lmax)
+    n = 37
+    p = rng.uniform(0.05, 8.0, n)
+    PC = rng.uniform(-2.5, 2.5, (n, 3))
+    PC[0] = 0.0  # include the coincident-centers corner case
+    batch = hermite_coulomb_batch(lmax, p, PC)
+    assert batch.shape == (n, lmax + 1, lmax + 1, lmax + 1)
+    for i in range(n):
+        ref = hermite_coulomb(lmax, float(p[i]), PC[i])
+        np.testing.assert_allclose(batch[i], ref, rtol=0.0, atol=1e-13)
+
+
+def test_hermite_coulomb_batch_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        hermite_coulomb_batch(2, np.ones((2, 2)), np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        hermite_coulomb_batch(2, np.ones(3), np.zeros((2, 3)))
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_batched_quartet_matches_scalar_reference(seed):
+    """Property: batched == scalar quartet to <= 1e-13 up to f shells."""
+    rng = np.random.default_rng(seed)
+    ls = rng.integers(0, LMAX + 1, size=4)
+    nprims = rng.integers(1, 4, size=4)
+    sh = [_random_shell(rng, int(l), int(n)) for l, n in zip(ls, nprims)]
+    bra = ShellPair(sh[0], sh[1])
+    ket = ShellPair(sh[2], sh[3])
+    batched = eri_shell_quartet(bra, ket)
+    scalar = eri_shell_quartet_scalar(bra, ket)
+    assert batched.shape == scalar.shape
+    np.testing.assert_allclose(batched, scalar, rtol=0.0, atol=1e-13)
+
+
+def test_high_contraction_batched_matches_scalar():
+    """Deep contractions (the batching payoff case) stay exact."""
+    rng = np.random.default_rng(99)
+    sa = _random_shell(rng, 0, 6)
+    sb = _random_shell(rng, 1, 6)
+    bra = ShellPair(sa, sb)
+    batched = eri_shell_quartet(bra, bra)
+    scalar = eri_shell_quartet_scalar(bra, bra)
+    np.testing.assert_allclose(batched, scalar, rtol=0.0, atol=1e-13)
+
+
+def test_one_boys_call_per_quartet_metric():
+    """The instrumentation proves exactly ONE Boys call per quartet."""
+    rng = np.random.default_rng(5)
+    pairs = [
+        ShellPair(_random_shell(rng, 0, 3), _random_shell(rng, 1, 2))
+        for _ in range(4)
+    ]
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        for bra in pairs:
+            for ket in pairs:
+                eri_shell_quartet(bra, ket)
+    nquartets = len(pairs) ** 2
+    assert registry.counter("eri.quartets").value == nquartets
+    assert registry.counter("eri.boys_calls").value == nquartets
+    hist = registry.histogram("eri.batch_size")
+    assert hist.count == nquartets
+    assert hist.min == hist.max == 6 * 6  # 3x2 bra prims x 3x2 ket prims
+
+
+def test_signed_ket_matrices_cached_on_pair():
+    """The parity-signed E tensor is precomputed once per pair."""
+    rng = np.random.default_rng(3)
+    pair = ShellPair(_random_shell(rng, 1, 2), _random_shell(rng, 2, 2))
+    expected = pair.ebra * pair._ket_signs[None, None, :]
+    np.testing.assert_array_equal(pair.eket, expected)
+    # The dead per-quartet ket_matrices() path is gone.
+    assert not hasattr(pair, "ket_matrices")

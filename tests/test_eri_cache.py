@@ -1,0 +1,205 @@
+"""Cross-cycle quartet cache: LRU semantics and semi-direct SCF identity.
+
+The contract the cache must honor: with the cache on or off, every
+algorithm produces **bitwise identical** Fock matrices and SCF
+energies — the cache stores exactly the arrays the engine computed —
+and cycle 2+ of a cached workload re-evaluates zero quartets while the
+screening decisions are unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import BasisSet
+from repro.chem.graphene import bilayer_graphene
+from repro.core.fock_mpi import MPIOnlyFockBuilder
+from repro.core.fock_private import PrivateFockBuilder
+from repro.core.fock_shared import SharedFockBuilder
+from repro.core.quartets import QuartetEngine
+from repro.core.scf_driver import ParallelSCF
+from repro.integrals.cache import QuartetCache
+from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+from repro.scf.incremental import IncrementalFockBuilder
+
+ALGORITHMS = {
+    "mpi-only": MPIOnlyFockBuilder,
+    "private-fock": PrivateFockBuilder,
+    "shared-fock": SharedFockBuilder,
+}
+
+
+@pytest.fixture(scope="module")
+def graphene_sto3g():
+    """Small-graphene fixture: 4 C atoms, 8 composite shells, 20 BFs."""
+    basis = BasisSet(bilayer_graphene(2), "sto-3g")
+    h = kinetic_matrix(basis) + nuclear_matrix(basis)
+    rng = np.random.default_rng(17)
+    d = rng.standard_normal((basis.nbf, basis.nbf))
+    d = d + d.T
+    return basis, h, d
+
+
+# -- LRU unit behaviour ------------------------------------------------------
+
+
+def _block(value, shape=(2, 2, 2, 2)):
+    return np.full(shape, float(value))
+
+
+def test_cache_hit_miss_counters():
+    cache = QuartetCache(max_bytes=1 << 20)
+    assert cache.get((0, 0, 0, 0)) is None
+    cache.put((0, 0, 0, 0), _block(1.0))
+    got = cache.get((0, 0, 0, 0))
+    np.testing.assert_array_equal(got, _block(1.0))
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+
+
+def test_cache_evicts_lru_under_byte_budget():
+    one = _block(0).nbytes
+    cache = QuartetCache(max_bytes=2 * one)
+    cache.put((0, 0, 0, 0), _block(0))
+    cache.put((1, 0, 0, 0), _block(1))
+    cache.get((0, 0, 0, 0))  # refresh key 0 -> key 1 is now LRU
+    cache.put((2, 0, 0, 0), _block(2))
+    assert (1, 0, 0, 0) not in cache
+    assert (0, 0, 0, 0) in cache and (2, 0, 0, 0) in cache
+    assert cache.evictions == 1
+    assert cache.bytes == 2 * one
+
+
+def test_cache_skips_oversized_blocks():
+    cache = QuartetCache(max_bytes=64)
+    cache.put((0, 0, 0, 0), np.zeros((4, 4, 4, 4)))
+    assert len(cache) == 0 and cache.bytes == 0 and cache.evictions == 0
+
+
+def test_cache_replace_same_key_updates_bytes():
+    cache = QuartetCache(max_bytes=1 << 20)
+    cache.put((0, 0, 0, 0), _block(1.0))
+    cache.put((0, 0, 0, 0), _block(2.0, shape=(3, 3, 3, 3)))
+    assert len(cache) == 1
+    assert cache.bytes == _block(0, shape=(3, 3, 3, 3)).nbytes
+
+
+def test_cache_blocks_are_read_only():
+    cache = QuartetCache(max_bytes=1 << 20)
+    cache.put((0, 0, 0, 0), _block(1.0))
+    got = cache.get((0, 0, 0, 0))
+    with pytest.raises(ValueError):
+        got[0, 0, 0, 0] = 7.0
+
+
+def test_cache_clear_and_stats():
+    cache = QuartetCache.from_mb(1)
+    cache.put((0, 0, 0, 0), _block(1.0))
+    cache.clear()
+    assert len(cache) == 0 and cache.bytes == 0
+    stats = cache.stats()
+    assert stats["entries"] == 0 and stats["max_bytes"] == 1 << 20
+
+
+def test_cache_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        QuartetCache(max_bytes=0)
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def test_engine_serves_repeat_quartets_from_cache(water_sto3g):
+    eng = QuartetEngine(water_sto3g, cache=QuartetCache.from_mb(8))
+    first = eng.composite_block(1, 0, 1, 0)
+    second = eng.composite_block(1, 0, 1, 0)
+    assert second is first  # the stored array, not a recomputation
+    assert eng.quartets_computed == 1
+    assert eng.quartets_from_cache == 1
+
+
+def test_engine_positional_pair_keys_survive_rederived_shells(water_sto3g):
+    """Pair cache keyed by basis position, not object identity."""
+    eng = QuartetEngine(water_sto3g)
+    eng.composite_block(1, 0, 1, 0)
+    keys = set(eng._pure_pairs)
+    npure = len(water_sto3g.shells)
+    assert keys and all(
+        0 <= a < npure and 0 <= b < npure for (a, b) in keys
+    )
+
+
+# -- semi-direct SCF identity on the small-graphene fixtures -----------------
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_cached_fock_bitwise_identical_per_cycle(name, graphene_sto3g):
+    basis, h, d = graphene_sto3g
+    cls = ALGORITHMS[name]
+    cached = cls(basis, h, eri_cache=QuartetCache.from_mb(64))
+    direct = cls(basis, h)
+    d2 = d + 0.01 * np.eye(basis.nbf)
+    for cycle, dens in enumerate((d, d2, d), start=1):
+        f_cached, s_cached = cached(dens)
+        f_direct, s_direct = direct(dens)
+        assert np.array_equal(f_cached, f_direct), f"cycle {cycle} differs"
+        if cycle == 1:
+            assert s_cached.eri_cache_misses == s_cached.quartets_computed > 0
+        else:
+            # Cycle 2+: zero quartets evaluated for unchanged screening.
+            assert s_cached.eri_cache_misses == 0
+            assert s_cached.eri_cache_hits == s_cached.quartets_computed
+            assert s_cached.eri_cache_hit_rate == 1.0
+        assert s_direct.eri_cache_hits == s_direct.eri_cache_misses == 0
+
+
+def test_rhf_energy_bitwise_identical_cache_on_off(graphene_sto3g):
+    basis, _, _ = graphene_sto3g
+    res_on = ParallelSCF(basis, "shared-fock", nranks=2, nthreads=2,
+                         eri_cache_mb=64.0).run()
+    res_off = ParallelSCF(basis, "shared-fock", nranks=2, nthreads=2).run()
+    assert res_on.energy == res_off.energy
+    assert res_on.converged and res_off.converged
+    # Every post-first cycle was served entirely from the cache.
+    for stats in res_on.fock_stats[1:]:
+        assert stats.eri_cache_misses == 0
+
+
+def test_uhf_energy_bitwise_identical_cache_on_off(graphene_sto3g):
+    from repro.core.fock_uhf import UHFPrivateFockBuilder
+    from repro.scf.uhf import UHF
+
+    basis, h, _ = graphene_sto3g
+    energies = []
+    for cache_mb in (64.0, None):
+        builder = UHFPrivateFockBuilder(basis, h, eri_cache_mb=cache_mb)
+        res = UHF(basis, multiplicity=3, fock_builder=builder).run()
+        energies.append(res.energy)
+    assert energies[0] == energies[1]
+
+
+def test_batched_path_matches_scalar_path_end_to_end(
+    graphene_sto3g, monkeypatch
+):
+    """Fock matrices from the batched kernel match the pre-PR scalar path."""
+    import repro.core.quartets as quartets_mod
+    from repro.integrals.eri import eri_shell_quartet_scalar
+
+    basis, h, d = graphene_sto3g
+    f_batched, _ = SharedFockBuilder(basis, h)(d)
+    monkeypatch.setattr(
+        quartets_mod, "eri_shell_quartet", eri_shell_quartet_scalar
+    )
+    f_scalar, _ = SharedFockBuilder(basis, h)(d)
+    np.testing.assert_allclose(f_batched, f_scalar, rtol=0.0, atol=1e-11)
+
+
+def test_incremental_scf_compounds_with_cache(graphene_sto3g):
+    """Density screening shrinks the quartet set -> later cycles all hit."""
+    basis, h, d = graphene_sto3g
+    inner = SharedFockBuilder(basis, h, eri_cache=QuartetCache.from_mb(64))
+    inc = IncrementalFockBuilder(inner, rebuild_every=10)
+    f1, s1 = inc(d)
+    assert s1.eri_cache_misses > 0
+    f2, s2 = inc(d + 1e-6 * np.eye(basis.nbf))
+    assert s2.eri_cache_misses == 0
+    assert s2.quartets_computed <= s1.quartets_computed
