@@ -27,10 +27,32 @@ TARGETS = (
 )
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (rejects 0 and negatives)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
 def _add_cache_args(sub: argparse.ArgumentParser) -> None:
     """Semi-direct SCF knobs shared by the ``scf`` and ``profile`` commands."""
     sub.add_argument(
-        "--eri-cache-mb", type=float, default=64.0, metavar="MB",
+        "--eri-cache-mb", type=_positive_float, default=64.0, metavar="MB",
         help="byte budget of the cross-cycle quartet ERI cache "
              "(default: 64 MB; LRU eviction once the budget is exceeded)",
     )
@@ -39,6 +61,47 @@ def _add_cache_args(sub: argparse.ArgumentParser) -> None:
         help="disable the quartet cache (fully direct SCF: every cycle "
              "re-evaluates every surviving quartet)",
     )
+
+
+def _add_resilience_args(
+    sub: argparse.ArgumentParser, *, restartable: bool
+) -> None:
+    """Fault-tolerance knobs (``scf`` gets checkpoint/restart too)."""
+    sub.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="deterministic fault-injection spec, ';'-separated events: "
+             '"kill:rank=1:cycle=2:after=5;delay:rank=3:cycle=1:factor=4;'
+             'corrupt:rank=0:cycle=2:payload=inf"',
+    )
+    sub.add_argument(
+        "--scf-recovery", action="store_true",
+        help="enable the convergence guard (staged density damping -> "
+             "level shifting -> DIIS reset on divergence/oscillation)",
+    )
+    if restartable:
+        sub.add_argument(
+            "--checkpoint", type=Path, default=None, metavar="NPZ",
+            help="write the SCF state (density, DIIS history, trace) to "
+                 "this .npz every --checkpoint-every cycles",
+        )
+        sub.add_argument(
+            "--checkpoint-every", type=_positive_int, default=5, metavar="N",
+            help="checkpoint write interval in SCF cycles (default: 5)",
+        )
+        sub.add_argument(
+            "--restart", type=Path, default=None, metavar="NPZ",
+            help="resume from a checkpoint written by --checkpoint; the "
+                 "restarted run converges bitwise identically",
+        )
+
+
+def _fault_plan(args: argparse.Namespace):
+    """Parse --fault-plan against the run's rank count (None if unset)."""
+    from repro.resilience import FaultPlan
+
+    if not getattr(args, "fault_plan", None):
+        return None
+    return FaultPlan.from_spec(args.fault_plan, nranks=args.ranks)
 
 
 def _cache_mb(args: argparse.Namespace) -> float | None:
@@ -56,12 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     scf.add_argument("xyz", type=Path, help="XYZ geometry file")
     scf.add_argument("--basis", default="sto-3g")
     scf.add_argument("--algorithm", choices=ALGORITHMS, default="shared-fock")
-    scf.add_argument("--ranks", type=int, default=1)
-    scf.add_argument("--threads", type=int, default=1)
+    scf.add_argument("--ranks", type=_positive_int, default=1)
+    scf.add_argument("--threads", type=_positive_int, default=1)
     scf.add_argument("--charge", type=int, default=0)
     scf.add_argument("--uhf", action="store_true")
     scf.add_argument("--multiplicity", type=int, default=1)
     _add_cache_args(scf)
+    _add_resilience_args(scf, restartable=True)
 
     prof = sub.add_parser(
         "profile",
@@ -73,14 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--basis", default="sto-3g")
     prof.add_argument("--algorithm", choices=ALGORITHMS, default="shared-fock")
-    prof.add_argument("--ranks", type=int, default=2)
-    prof.add_argument("--threads", type=int, default=4)
+    prof.add_argument("--ranks", type=_positive_int, default=2)
+    prof.add_argument("--threads", type=_positive_int, default=4)
     prof.add_argument("--charge", type=int, default=0)
     prof.add_argument(
         "--output-dir", type=Path, default=Path("profile_out"),
         help="directory for trace.json / profile.txt / metrics.ndjson",
     )
     _add_cache_args(prof)
+    _add_resilience_args(prof, restartable=False)
 
     ds = sub.add_parser("dataset", help="describe a benchmark dataset")
     ds.add_argument("label", choices=DATASETS)
@@ -103,11 +168,32 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_scf(args: argparse.Namespace) -> int:
     from repro.chem.basis import BasisSet
     from repro.chem.molecule import Molecule
+    from repro.resilience import (
+        CheckpointManager,
+        FaultSpecError,
+        ResilienceError,
+        SCFConvergenceError,
+    )
 
     mol = Molecule.from_xyz(args.xyz.read_text(), charge=args.charge)
     basis = BasisSet(mol, args.basis)
     print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis functions, "
           f"{basis.nshells} shells ({args.basis})")
+
+    try:
+        plan = _fault_plan(args)
+    except FaultSpecError as exc:
+        print(f"error: invalid --fault-plan: {exc}", file=sys.stderr)
+        return 2
+    manager = (
+        CheckpointManager(args.checkpoint, every=args.checkpoint_every)
+        if args.checkpoint is not None else None
+    )
+    run_kwargs = dict(
+        restart=args.restart,
+        checkpoint=manager,
+        recovery=True if args.scf_recovery else None,
+    )
 
     if args.uhf:
         from repro.core.fock_uhf import UHFPrivateFockBuilder
@@ -117,21 +203,38 @@ def cmd_scf(args: argparse.Namespace) -> int:
         h = kinetic_matrix(basis) + nuclear_matrix(basis)
         builder = UHFPrivateFockBuilder(
             basis, h, nranks=args.ranks, nthreads=args.threads,
-            eri_cache_mb=_cache_mb(args),
+            eri_cache_mb=_cache_mb(args), fault_plan=plan,
         )
-        res = UHF(basis, multiplicity=args.multiplicity,
-                  fock_builder=builder).run()
+        try:
+            res = UHF(basis, multiplicity=args.multiplicity,
+                      fock_builder=builder).run(**run_kwargs)
+        except SCFConvergenceError as exc:
+            print(f"SCF failed: {exc}", file=sys.stderr)
+            return 1
+        except ResilienceError as exc:
+            print(f"unrecoverable fault: {exc}", file=sys.stderr)
+            return 3
         print(f"UHF energy   : {res.energy:.10f} Eh "
               f"(converged={res.converged}, {res.niterations} iterations)")
         print(f"<S^2>        : {res.s_squared:.6f}")
+        if manager is not None:
+            print(f"checkpoints  : {manager.writes} written -> "
+                  f"{args.checkpoint}")
         return 0 if res.converged else 1
 
     from repro.core.scf_driver import ParallelSCF
 
-    res = ParallelSCF(
-        basis, args.algorithm, nranks=args.ranks, nthreads=args.threads,
-        eri_cache_mb=_cache_mb(args),
-    ).run()
+    try:
+        res = ParallelSCF(
+            basis, args.algorithm, nranks=args.ranks, nthreads=args.threads,
+            eri_cache_mb=_cache_mb(args), fault_plan=plan,
+        ).run(**run_kwargs)
+    except SCFConvergenceError as exc:
+        print(f"SCF failed: {exc}", file=sys.stderr)
+        return 1
+    except ResilienceError as exc:
+        print(f"unrecoverable fault: {exc}", file=sys.stderr)
+        return 3
     print(f"RHF energy   : {res.energy:.10f} Eh "
           f"(converged={res.converged}, {res.scf.niterations} iterations)")
     stats = res.fock_stats[-1]
@@ -146,6 +249,8 @@ def cmd_scf(args: argparse.Namespace) -> int:
         print(f"ERI cache    : {hits} hits / {misses} misses "
               f"({rate:.1f}% hit rate, last cycle "
               f"{100.0 * stats.eri_cache_hit_rate:.1f}%)")
+    if manager is not None:
+        print(f"checkpoints  : {manager.writes} written -> {args.checkpoint}")
     return 0 if res.converged else 1
 
 
@@ -177,17 +282,33 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"profiling {args.algorithm} on {args.ranks} rank(s) x "
           f"{nthreads} thread(s)")
 
+    from repro.resilience import (
+        FaultSpecError,
+        ResilienceError,
+        SCFConvergenceError,
+    )
+
+    try:
+        plan = _fault_plan(args)
+    except FaultSpecError as exc:
+        print(f"error: invalid --fault-plan: {exc}", file=sys.stderr)
+        return 2
+
     # Setup (integrals, Schwarz matrix) stays outside the measured
     # window so the traced span total is comparable to the SCF wall.
     scf = ParallelSCF(
         basis, args.algorithm, nranks=args.ranks, nthreads=nthreads,
-        eri_cache_mb=_cache_mb(args),
+        eri_cache_mb=_cache_mb(args), fault_plan=plan,
     )
     tracer = Tracer()
     registry = MetricsRegistry()
     with use_tracer(tracer), use_metrics(registry):
         t0 = time.perf_counter()
-        res = scf.run()
+        try:
+            res = scf.run(recovery=True if args.scf_recovery else None)
+        except (SCFConvergenceError, ResilienceError) as exc:
+            print(f"SCF failed under injected faults: {exc}", file=sys.stderr)
+            return 3
         wall = time.perf_counter() - t0
 
     traced = tracer.total_seconds()

@@ -12,7 +12,7 @@ the dense reference.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -22,8 +22,11 @@ from repro.core.screening import DEFAULT_TAU, Screening
 from repro.integrals.cache import QuartetCache
 from repro.integrals.schwarz import schwarz_matrix
 from repro.obs.metrics import MetricsRegistry, get_metrics
-from repro.parallel.comm import SimWorld
+from repro.parallel.comm import SimComm, SimWorld
+from repro.parallel.dlb import DynamicLoadBalancer
 from repro.parallel.shared_array import WriteTracker
+from repro.resilience.errors import NonFiniteDensityError
+from repro.resilience.faults import FaultPlan, corrupt_copy, resilient_grants
 
 #: Scalar counters of one Fock build, in declaration order.
 _SCALAR_FIELDS = (
@@ -228,6 +231,17 @@ class ParallelFockBuilderBase:
         OpenMP-style schedule of the thread-level loop.
     track_races:
         Enable the shared-write race detector (shared-Fock algorithm).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`, validated
+        against ``nranks`` at construction.  Kill events re-queue the
+        dead rank's DLB grants to survivors (results stay bitwise
+        identical to the fault-free build); corrupt events strike the
+        rank's ``gsumf`` contribution on the wire, where the validating
+        reduction detects them and requests a retransmission.
+    validate_reductions:
+        NaN/Inf-guard reduction contributions before merging (on by
+        default); disabling it lets injected corruption propagate,
+        which is how the downstream density guards are exercised.
     """
 
     algorithm_name = "base"
@@ -247,9 +261,16 @@ class ParallelFockBuilderBase:
         thread_schedule: str = "dynamic",
         thread_chunk: int = 1,
         track_races: bool = False,
+        fault_plan: FaultPlan | None = None,
+        validate_reductions: bool = True,
     ) -> None:
         if nranks < 1 or nthreads < 1:
             raise ValueError("nranks and nthreads must be positive")
+        if fault_plan is not None:
+            fault_plan.validate_for(nranks)
+        self.fault_plan = fault_plan
+        self.validate_reductions = validate_reductions
+        self._build_index = 0
         self.basis = basis
         self.hcore = np.asarray(hcore, dtype=np.float64)
         self.nranks = nranks
@@ -270,7 +291,64 @@ class ParallelFockBuilderBase:
 
     # Subclasses implement __call__(density) -> (fock, stats).
 
+    def _check_density(self, density: np.ndarray, label: str = "density") -> None:
+        """Fail fast on NaN/Inf input instead of iterating on garbage.
+
+        The diagnostic names the Fock build (= SCF cycle for one build
+        per cycle) so the first offending cycle is identifiable.
+        """
+        if not np.all(np.isfinite(density)):
+            raise NonFiniteDensityError(
+                f"Fock build {self._build_index}: input {label} contains "
+                f"{int(np.sum(~np.isfinite(density)))} non-finite "
+                "value(s); refusing to build from garbage"
+            )
+
+    def _grants(self, dlb: DynamicLoadBalancer, rank: int) -> Iterator[int]:
+        """Rank's DLB grants, with fault-plan kill/straggler semantics."""
+        return resilient_grants(dlb, rank, self.fault_plan, self._build_index)
+
+    def _resilient_gsumf(self, comm: SimComm, W: np.ndarray) -> None:
+        """``gsumf`` with wire-corruption injection and NaN/Inf guard.
+
+        A scheduled corrupt event strikes the wire image of ``W``.  With
+        reduction validation on (default), the guard detects the
+        non-finite payload before merging and requests retransmission of
+        the pristine buffer the sender still holds — the reduced result
+        is untouched.  With validation off, the corruption is merged
+        in-place and propagates (for exercising downstream guards).
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            event = plan.corruption(comm.rank, self._build_index)
+            if event is not None:
+                registry = get_metrics()
+                if registry is not None:
+                    registry.counter("resilience.corrupt_injected").inc()
+                if self.validate_reductions:
+                    if registry is not None:
+                        registry.counter(
+                            "resilience.corrupt_detected"
+                        ).inc()
+                        registry.counter(
+                            "resilience.retransmissions", rank=comm.rank
+                        ).inc()
+                else:
+                    W[...] = corrupt_copy(W, event.payload)
+        if not self.validate_reductions and not np.all(np.isfinite(W)):
+            # Unvalidated fabric: the poisoned buffer joins the sum.
+            self._world_gsumf_unchecked(comm, W)
+            return
+        comm.gsumf(W)
+
+    @staticmethod
+    def _world_gsumf_unchecked(comm: SimComm, W: np.ndarray) -> None:
+        comm.stats.reduce_calls += 1
+        comm.stats.reduce_bytes += W.nbytes
+        comm._world._register_reduction(comm.rank, W)
+
     def _new_stats(self) -> FockBuildStats:
+        self._build_index += 1
         cache = self.eri_cache
         self._cache_mark = (
             (cache.hits, cache.misses, cache.evictions)

@@ -37,6 +37,7 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
 
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
         ntasks = npairs(self.nshells)
@@ -53,7 +54,7 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
             # Stock loop: i over shells, j <= i, with the DLB check on
             # the combined (i, j) index (ddi_dlbnext).
             with tracer.span("fock/quartets", rank=rank):
-                for ij in dlb.iter_rank(rank):
+                for ij in self._grants(dlb, rank):
                     i, j = decode_pair(ij)
                     for k in range(i + 1):
                         for l in range(lmax_for(i, j, k) + 1):
@@ -64,7 +65,7 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
                             done += 1
             stats.per_rank_quartets.append(done)
             with tracer.span("fock/gsumf", rank=rank):
-                comm.gsumf(W)
+                self._resilient_gsumf(comm, W)
             results.append(W)
 
         with tracer.span(

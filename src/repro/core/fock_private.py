@@ -32,6 +32,7 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
 
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
         # MPI-level DLB over the *i* index only — the coarse granularity
@@ -50,7 +51,7 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
             # ``reduction(+ : Fock)``.
             W_threads = team.private_buffers((self.nbf, self.nbf))
             done = 0
-            for i in dlb.iter_rank(rank):
+            for i in self._grants(dlb, rank):
                 comm.barrier()  # master draw + implicit barrier
                 # collapse(2) over (j, k), both 0..i.
                 jk_tasks = [(j, k) for j in range(i + 1) for k in range(i + 1)]
@@ -84,7 +85,7 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
                     W += Wt
             stats.per_rank_quartets.append(done)
             with tracer.span("fock/gsumf", rank=rank):
-                comm.gsumf(W)
+                self._resilient_gsumf(comm, W)
             results.append(W)
 
         with tracer.span(

@@ -53,6 +53,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
 
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
         ntasks = npairs(self.nshells)
@@ -80,7 +81,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
             iold = -1
             done = 0
 
-            for ij in dlb.iter_rank(rank):
+            for ij in self._grants(dlb, rank):
                 i, j = decode_pair(ij)
                 # Bra prescreening (paper Algorithm 3 line 13, safe form).
                 if not self.screening.prescreen_ij(i, j):
@@ -146,7 +147,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
             stats.fi_flushes += FI.flushes
             stats.fj_flushes += FJ.flushes
             with tracer.span("fock/gsumf", rank=rank):
-                comm.gsumf(W)
+                self._resilient_gsumf(comm, W)
             results.append(W)
 
         with tracer.span(

@@ -33,6 +33,8 @@ class UHFPrivateFockBuilder(ParallelFockBuilderBase):
         self, d_alpha: np.ndarray, d_beta: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, FockBuildStats]:
         stats = self._new_stats()
+        self._check_density(d_alpha, "alpha density")
+        self._check_density(d_beta, "beta density")
         world = SimWorld(self.nranks)
         dlb = DynamicLoadBalancer(
             self.nshells, self.nranks, policy=self.dlb_policy
@@ -46,7 +48,7 @@ class UHFPrivateFockBuilder(ParallelFockBuilderBase):
             wa_threads = team.private_buffers((self.nbf, self.nbf))
             wb_threads = team.private_buffers((self.nbf, self.nbf))
             done = 0
-            for i in dlb.iter_rank(rank):
+            for i in self._grants(dlb, rank):
                 comm.barrier()
                 jk_tasks = [(j, k) for j in range(i + 1) for k in range(i + 1)]
                 shares = team.partition(
@@ -79,8 +81,8 @@ class UHFPrivateFockBuilder(ParallelFockBuilderBase):
                 wa += wa_threads[t]
                 wb += wb_threads[t]
             stats.per_rank_quartets.append(done)
-            comm.gsumf(wa)
-            comm.gsumf(wb)
+            self._resilient_gsumf(comm, wa)
+            self._resilient_gsumf(comm, wb)
             results.append((wa, wb))
 
         world.execute(rank_main)

@@ -21,6 +21,7 @@ from repro.core.fock_shared import SharedFockBuilder
 from repro.core.screening import Screening
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix
 from repro.obs.tracer import get_tracer
+from repro.resilience.errors import SCFConvergenceError
 from repro.scf.convergence import ConvergenceCriteria
 from repro.scf.rhf import RHF, SCFResult
 
@@ -132,7 +133,15 @@ class ParallelSCF:
         self.rhf = RHF(basis, recording_builder, criteria=criteria)
 
     def run(self, **kwargs) -> ParallelSCFResult:
-        """Run the SCF; returns energy plus per-iteration Fock stats."""
+        """Run the SCF; returns energy plus per-iteration Fock stats.
+
+        Keyword arguments (``restart``, ``checkpoint``, ``recovery``,
+        ``strict``, ...) are forwarded to :meth:`repro.scf.rhf.RHF.run`.
+        A propagating
+        :class:`~repro.resilience.errors.SCFConvergenceError` has its
+        partial result re-wrapped as a :class:`ParallelSCFResult` so
+        callers keep the per-build statistics too.
+        """
         self._fock_stats.clear()
         with get_tracer().span(
             "scf/run",
@@ -140,5 +149,12 @@ class ParallelSCF:
             nranks=self.builder.nranks,
             nthreads=self.builder.nthreads,
         ):
-            result = self.rhf.run(**kwargs)
+            try:
+                result = self.rhf.run(**kwargs)
+            except SCFConvergenceError as exc:
+                if exc.result is not None:
+                    exc.result = ParallelSCFResult(
+                        scf=exc.result, fock_stats=list(self._fock_stats)
+                    )
+                raise
         return ParallelSCFResult(scf=result, fock_stats=list(self._fock_stats))

@@ -75,7 +75,21 @@ class SimComm:
         The sum is materialized after every rank has contributed; the
         calling rank's array object is updated in place at that point,
         matching allreduce semantics at the algorithm boundary.
+
+        Contributions are validated before joining the reduction: a
+        NaN/Inf buffer raises
+        :class:`~repro.resilience.errors.CorruptContributionError`
+        naming the rank, instead of silently poisoning every rank's
+        copy of the sum.
         """
+        if not np.all(np.isfinite(buf)):
+            from repro.resilience.errors import CorruptContributionError
+
+            raise CorruptContributionError(
+                f"gsumf contribution from rank {self._rank} contains "
+                f"{int(np.sum(~np.isfinite(buf)))} non-finite value(s); "
+                "rejecting before the merge"
+            )
         self.stats.reduce_calls += 1
         self.stats.reduce_bytes += buf.nbytes
         self._world._register_reduction(self._rank, buf)

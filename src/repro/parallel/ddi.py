@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.obs.metrics import get_metrics
 from repro.parallel.dlb import DynamicLoadBalancer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.faults import FaultPlan
 
 
 class DDIMode(str, enum.Enum):
@@ -158,16 +162,35 @@ class DDIRuntime:
         ``mpi3`` (default) or ``data-server`` (legacy); the legacy mode
         doubles the process count and the replicated-memory accounting,
         as in the paper's description of the stock code.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` validated
+        against ``nranks`` at construction; ``kill`` events fire on
+        :meth:`dlbnext` draws (the dead rank's outstanding tasks are
+        re-queued to survivors through the balancer).
     """
 
-    def __init__(self, nranks: int, *, mode: DDIMode | str = DDIMode.MPI3) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        mode: DDIMode | str = DDIMode.MPI3,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
         if nranks < 1:
-            raise ValueError("need at least one rank")
+            raise ValueError(
+                f"DDIRuntime needs at least one compute rank, got {nranks}"
+            )
         self.nranks = nranks
         self.mode = DDIMode(mode)
         self.stats = DDIStats()
         self._arrays: list[DDIArray] = []
         self._dlb: DynamicLoadBalancer | None = None
+        if fault_plan is not None:
+            fault_plan.validate_for(nranks)
+        self.fault_plan = fault_plan
+        self._cycle = 0           # dlb_reset epochs (1-based once armed)
+        self._draws = [0] * nranks
+        self._kill_after: dict[int, int] = {}
 
     def _register_array(self, arr: DDIArray) -> None:
         self._arrays.append(arr)
@@ -201,21 +224,88 @@ class DDIRuntime:
         self._dlb = DynamicLoadBalancer(
             ntasks, self.nranks, policy=policy, costs=costs
         )
+        self._cycle += 1
+        self._draws = [0] * self.nranks
+        self._kill_after = {}
+        if self.fault_plan is not None:
+            for rank in range(self.nranks):
+                after = self.fault_plan.kill_after(rank, self._cycle)
+                if after is not None:
+                    self._kill_after[rank] = after
 
     def dlbnext(self, rank: int) -> int | None:
-        """``ddi_dlbnext``: draw the next global task index."""
+        """``ddi_dlbnext``: draw the next global task index.
+
+        Under a fault plan, a rank scheduled to die in this counter
+        epoch fails once it has drawn its allotted tasks: the runtime
+        re-queues its outstanding grants to the survivors (who pick
+        them up through their own ``dlbnext`` draws) and the dead
+        rank's subsequent calls return ``None``.
+        """
         if self._dlb is None:
             raise RuntimeError("call dlb_reset before dlbnext")
-        return self._dlb.next(rank)
+        after = self._kill_after.get(rank)
+        if after is not None and self._draws[rank] >= after:
+            self.fail_rank(rank)
+            del self._kill_after[rank]
+            return None
+        task = self._dlb.next(rank)
+        if task is not None:
+            self._draws[rank] += 1
+        return task
+
+    def fail_rank(self, rank: int) -> list[int]:
+        """Kill ``rank``: withdraw and re-queue its outstanding tasks.
+
+        Returns the re-queued task indices.  Metered as
+        ``resilience.rank_failures`` / ``resilience.tasks_requeued``.
+        """
+        if self._dlb is None:
+            raise RuntimeError("call dlb_reset before fail_rank")
+        tasks = self._dlb.fail_rank(rank, requeue=True)
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("resilience.rank_failures").inc()
+            registry.counter("resilience.tasks_requeued").inc(len(tasks))
+        return tasks
+
+    def rank_alive(self, rank: int) -> bool:
+        """Whether ``rank`` is still drawing from the current counter."""
+        return self._dlb is None or self._dlb.alive(rank)
 
     # -- collectives -----------------------------------------------------------
 
-    def gsumf(self, buffers: list[np.ndarray]) -> np.ndarray:
-        """``ddi_gsumf``: sum per-rank buffers; all get the result."""
+    def gsumf(
+        self, buffers: list[np.ndarray], *, validate: bool = True
+    ) -> np.ndarray:
+        """``ddi_gsumf``: sum per-rank buffers; all get the result.
+
+        With ``validate`` (the default) every contribution is checked
+        for NaN/Inf *before* merging — one corrupted buffer would
+        otherwise silently poison every rank's copy of the sum.  A bad
+        contribution raises
+        :class:`~repro.resilience.errors.CorruptContributionError`
+        naming the offending rank.
+        """
         if len(buffers) != self.nranks:
             raise ValueError(
                 f"expected {self.nranks} buffers, got {len(buffers)}"
             )
+        if validate:
+            for rank, b in enumerate(buffers):
+                if not np.all(np.isfinite(b)):
+                    from repro.resilience.errors import CorruptContributionError
+
+                    registry = get_metrics()
+                    if registry is not None:
+                        registry.counter(
+                            "resilience.corrupt_contributions"
+                        ).inc()
+                    raise CorruptContributionError(
+                        f"gsumf contribution from rank {rank} contains "
+                        f"{int(np.sum(~np.isfinite(b)))} non-finite "
+                        "value(s); rejecting before the merge"
+                    )
         total = np.zeros_like(buffers[0])
         for b in buffers:
             total += b

@@ -66,6 +66,7 @@ class DynamicLoadBalancer:
         self.policy = policy
         self._queues: list[list[int]] = [[] for _ in range(nranks)]
         self._cursor = [0] * nranks
+        self._dead: set[int] = set()
 
         if policy == "round_robin":
             for t in range(ntasks):
@@ -97,6 +98,8 @@ class DynamicLoadBalancer:
         This is the simulated ``ddi_dlbnext``: each call advances the
         rank's cursor through its granted share of the global counter.
         """
+        if rank in self._dead:
+            return None
         cur = self._cursor[rank]
         queue = self._queues[rank]
         if cur >= len(queue):
@@ -117,5 +120,50 @@ class DynamicLoadBalancer:
         return [list(q) for q in self._queues]
 
     def reset(self) -> None:
-        """Rewind all rank cursors (grants are unchanged)."""
+        """Rewind all rank cursors (grants are unchanged; dead ranks stay dead)."""
         self._cursor = [0] * self.nranks
+
+    # -- fault hooks --------------------------------------------------------
+
+    def alive(self, rank: int) -> bool:
+        """Whether ``rank`` still draws from the counter."""
+        return rank not in self._dead
+
+    def outstanding(self, rank: int) -> list[int]:
+        """Granted-but-undrawn task indices of ``rank``, grant order."""
+        return list(self._queues[rank][self._cursor[rank]:])
+
+    def fail_rank(self, rank: int, *, requeue: bool = True) -> list[int]:
+        """Declare ``rank`` dead and withdraw its outstanding grants.
+
+        Returns the withdrawn task indices in their original grant
+        order.  With ``requeue=True`` (the DDI runtime's recovery path)
+        they are appended round-robin to the surviving ranks' queues, to
+        be claimed by subsequent ``next()`` draws; with ``requeue=False``
+        the caller owns redistribution (the Fock builders replay them in
+        grant order so recovered results stay bitwise identical).
+        """
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        if rank in self._dead:
+            return []
+        tasks = self.outstanding(rank)
+        self._cursor[rank] = len(self._queues[rank])
+        self._dead.add(rank)
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("dlb.rank_failures").inc()
+            registry.counter("dlb.tasks_withdrawn").inc(len(tasks))
+        if requeue and tasks:
+            survivors = [r for r in range(self.nranks) if r not in self._dead]
+            if not survivors:
+                raise RuntimeError(
+                    f"rank {rank} failed with {len(tasks)} outstanding "
+                    "task(s) and no survivors to re-queue them to"
+                )
+            for idx, t in enumerate(tasks):
+                claimant = survivors[idx % len(survivors)]
+                self._queues[claimant].append(t)
+                if registry is not None:
+                    registry.counter("dlb.tasks_requeued", rank=claimant).inc()
+        return tasks

@@ -26,7 +26,9 @@ def padded_rows(nrows: int, pad: int = PAD_DOUBLES) -> int:
     return ((nrows + line - 1) // line) * line + pad
 
 
-def tree_reduce_columns(buffer: np.ndarray, nrows: int) -> np.ndarray:
+def tree_reduce_columns(
+    buffer: np.ndarray, nrows: int, *, validate: bool = False
+) -> np.ndarray:
     """Sum thread columns of a padded buffer with a binary tree.
 
     Parameters
@@ -36,6 +38,11 @@ def tree_reduce_columns(buffer: np.ndarray, nrows: int) -> np.ndarray:
         partial contribution.
     nrows:
         Number of meaningful rows (the rest is padding).
+    validate:
+        Check every thread column for NaN/Inf *before* merging and
+        raise :class:`~repro.resilience.errors.CorruptContributionError`
+        naming the offending thread — one poisoned column would
+        otherwise contaminate the whole reduced result.
 
     Returns
     -------
@@ -48,6 +55,17 @@ def tree_reduce_columns(buffer: np.ndarray, nrows: int) -> np.ndarray:
     if registry is not None:
         registry.counter("reduction.tree_reduces").inc()
         registry.histogram("reduction.tree_reduce_rows").observe(nrows)
+    if validate:
+        for t in range(buffer.shape[1]):
+            if not np.all(np.isfinite(buffer[:nrows, t])):
+                from repro.resilience.errors import CorruptContributionError
+
+                if registry is not None:
+                    registry.counter("resilience.corrupt_contributions").inc()
+                raise CorruptContributionError(
+                    f"tree reduction: thread {t}'s column contains "
+                    "non-finite values; rejecting before the merge"
+                )
     cols = [buffer[:nrows, t] for t in range(buffer.shape[1])]
     while len(cols) > 1:
         nxt = []

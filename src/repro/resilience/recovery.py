@@ -1,0 +1,227 @@
+"""Convergence recovery: detect divergence/oscillation, stage fallbacks.
+
+Production SCF runs at scale cannot afford to burn 100 cycles iterating
+on a diverging density.  :class:`ConvergenceGuard` watches the per-cycle
+``(energy, density_rms)`` trace, diagnoses the two classic pathologies —
+
+* **divergence**: the energy rising (or the density change growing)
+  across a sliding window, and
+* **oscillation**: the energy change alternating sign across the window
+  without shrinking —
+
+and prescribes a *staged* fallback, escalating only when the previous
+stage has had ``patience`` cycles to act:
+
+1. ``damping``     — mix the new density with the old one,
+2. ``level_shift`` — raise the virtual orbitals by a shift ``b``
+   (implemented metric-consistently as ``F + b (S - S P_occ S)``),
+3. ``diis_reset``  — drop the DIIS subspace and restart extrapolation
+   from the damped, shifted iterates.
+
+Only after all three stages have been applied and the trace is *still*
+sick does the guard declare the run unrecoverable; the SCF driver then
+raises :class:`~repro.resilience.errors.SCFConvergenceError` carrying
+the partial result.  A healthy run never triggers the guard, so
+enabling it is bitwise-neutral for converging cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.resilience.errors import SCFConvergenceError
+
+__all__ = [
+    "RECOVERY_STAGES",
+    "RecoveryAction",
+    "ConvergenceGuard",
+    "SCFConvergenceError",
+]
+
+#: Escalation order of the staged fallback.
+RECOVERY_STAGES = ("damping", "level_shift", "diis_reset")
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One prescribed fallback step.
+
+    Attributes
+    ----------
+    stage:
+        Stage name (one of :data:`RECOVERY_STAGES`).
+    level:
+        1-based escalation level (1 = damping, ...).
+    reason:
+        The diagnosis that triggered it (``diverging`` / ``oscillating``).
+    iteration:
+        SCF cycle the action was prescribed at.
+    """
+
+    stage: str
+    level: int
+    reason: str
+    iteration: int
+
+
+class ConvergenceGuard:
+    """Sliding-window divergence/oscillation detector with staged fallback.
+
+    Parameters
+    ----------
+    window:
+        Cycles of trace inspected per diagnosis (and the minimum trace
+        length before the guard speaks up at all).
+    patience:
+        Cycles a freshly applied stage is given before escalation.
+    damping:
+        Density mixing factor prescribed by stage 1.
+    level_shift:
+        Virtual-orbital shift (Hartree) prescribed by stage 2.
+    rise_tol:
+        Energy increase (Hartree) below which a step is not counted as
+        "rising" — guards against round-off flicker near convergence.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 6,
+        patience: int = 4,
+        damping: float = 0.5,
+        level_shift: float = 0.5,
+        rise_tol: float = 1.0e-10,
+    ) -> None:
+        if window < 3:
+            raise ValueError("guard window must be >= 3 cycles")
+        if patience < 1:
+            raise ValueError("guard patience must be >= 1 cycle")
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        if level_shift <= 0.0:
+            raise ValueError("level shift must be positive")
+        self.window = window
+        self.patience = patience
+        self.damping = damping
+        self.level_shift = level_shift
+        self.rise_tol = rise_tol
+        self._energies: list[float] = []
+        self._rms: list[float] = []
+        self._iterations: list[int] = []
+        self._actions: list[RecoveryAction] = []
+        self._last_action_at: int | None = None
+        self._gave_up = False
+
+    # -- trace & diagnosis --------------------------------------------------
+
+    def diagnose(self) -> str | None:
+        """Classify the recent trace: ``diverging``, ``oscillating``, None."""
+        if len(self._energies) < self.window:
+            return None
+        e = np.asarray(self._energies[-self.window:])
+        r = np.asarray(self._rms[-self.window:])
+        de = np.diff(e)
+
+        rising = int(np.sum(de > self.rise_tol))
+        rms_growing = bool(r[-1] > 10.0 * np.min(r) and r[-1] > r[0])
+        if rising >= len(de) - 1 or (rms_growing and rising >= len(de) // 2):
+            return "diverging"
+
+        signs = np.sign(de[np.abs(de) > self.rise_tol])
+        if len(signs) >= self.window - 2:
+            flips = int(np.sum(signs[1:] != signs[:-1]))
+            half = len(de) // 2
+            early = float(np.mean(np.abs(de[:half]))) if half else 0.0
+            late = float(np.mean(np.abs(de[half:])))
+            if flips >= len(signs) - 1 and late >= 0.5 * early:
+                return "oscillating"
+        return None
+
+    def observe(
+        self, iteration: int, energy: float, density_rms: float
+    ) -> RecoveryAction | None:
+        """Feed one cycle's record; returns a fallback to apply, if any.
+
+        The returned action takes effect from the *next* cycle — the SCF
+        driver applies it to its iteration state (damping factor, level
+        shift, DIIS reset) and keeps iterating.
+        """
+        self._iterations.append(iteration)
+        self._energies.append(float(energy))
+        self._rms.append(float(density_rms))
+
+        diagnosis = self.diagnose()
+        if diagnosis is None:
+            return None
+        if self._last_action_at is not None and (
+            iteration - self._last_action_at < self.patience
+        ):
+            return None  # let the current stage work
+        if len(self._actions) >= len(RECOVERY_STAGES):
+            self._gave_up = True
+            return None
+
+        level = len(self._actions) + 1
+        action = RecoveryAction(
+            stage=RECOVERY_STAGES[level - 1],
+            level=level,
+            reason=diagnosis,
+            iteration=iteration,
+        )
+        self._actions.append(action)
+        self._last_action_at = iteration
+        registry = get_metrics()
+        if registry is not None:
+            registry.gauge("scf.recovery_stage").set(level)
+            registry.counter(
+                "scf.recovery_actions", stage=action.stage
+            ).inc()
+        return action
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def actions(self) -> tuple[RecoveryAction, ...]:
+        """Fallback steps prescribed so far, in escalation order."""
+        return tuple(self._actions)
+
+    @property
+    def stages_applied(self) -> tuple[str, ...]:
+        """Names of the stages applied so far."""
+        return tuple(a.stage for a in self._actions)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every stage was tried and the trace is still sick."""
+        return self._gave_up
+
+    def failure_message(self) -> str:
+        """Human-readable post-mortem for :class:`SCFConvergenceError`."""
+        last = self._actions[-1] if self._actions else None
+        tail = (
+            f"; last diagnosis {last.reason!r} at cycle {last.iteration}"
+            if last
+            else ""
+        )
+        return (
+            "SCF unrecoverable: all "
+            f"{len(RECOVERY_STAGES)} recovery stages "
+            f"({', '.join(RECOVERY_STAGES)}) were exhausted{tail}"
+        )
+
+
+def level_shifted(
+    F: np.ndarray, S: np.ndarray, D_occ: np.ndarray, shift: float
+) -> np.ndarray:
+    """Apply a virtual-orbital level shift to a Fock matrix.
+
+    ``F + shift * (S - S D_occ S)`` where ``D_occ`` is the *idempotent*
+    occupied projector in the AO basis (``C_occ C_occ^T``; for a
+    closed-shell density with occupation 2 pass ``D / 2``).  Occupied
+    orbitals are untouched, virtual eigenvalues rise by ``shift``,
+    which damps occupied-virtual rotations.
+    """
+    return F + shift * (S - S @ D_occ @ S)

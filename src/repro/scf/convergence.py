@@ -13,7 +13,22 @@ import numpy as np
 
 
 def density_rms_change(d_new: np.ndarray, d_old: np.ndarray) -> float:
-    """Root-mean-square element-wise change between two density matrices."""
+    """Root-mean-square element-wise change between two density matrices.
+
+    Fails fast with a typed
+    :class:`~repro.resilience.errors.NonFiniteDensityError` when either
+    density contains NaN/Inf — a non-finite density would otherwise
+    poison the convergence test (``NaN < threshold`` is False) and let
+    the SCF silently iterate on garbage until the cycle cap.
+    """
+    for label, d in (("new", d_new), ("old", d_old)):
+        if not np.all(np.isfinite(d)):
+            from repro.resilience.errors import NonFiniteDensityError
+
+            raise NonFiniteDensityError(
+                f"{label} density contains "
+                f"{int(np.sum(~np.isfinite(d)))} non-finite value(s)"
+            )
     diff = d_new - d_old
     return float(np.sqrt(np.mean(diff * diff)))
 

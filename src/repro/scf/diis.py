@@ -40,6 +40,16 @@ class DIIS:
         """Number of stored iterates."""
         return len(self._focks)
 
+    @property
+    def focks(self) -> list[np.ndarray]:
+        """Stored Fock iterates, push order (copies; for checkpointing)."""
+        return [f.copy() for f in self._focks]
+
+    @property
+    def errors(self) -> list[np.ndarray]:
+        """Stored error vectors, push order (copies; for checkpointing)."""
+        return [e.copy() for e in self._errors]
+
     def extrapolate(self) -> np.ndarray:
         """Return the DIIS-extrapolated Fock matrix.
 

@@ -13,6 +13,7 @@ or any of the three parallel algorithms from :mod:`repro.core`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Protocol
 
 import numpy as np
@@ -20,6 +21,13 @@ import numpy as np
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
 from repro.obs.tracer import get_tracer
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    SCFCheckpoint,
+    load_checkpoint,
+)
+from repro.resilience.errors import NonFiniteDensityError, SCFConvergenceError
+from repro.resilience.recovery import ConvergenceGuard, level_shifted
 from repro.scf.convergence import ConvergenceCriteria, density_rms_change
 from repro.scf.diis import DIIS
 from repro.scf.guess import (
@@ -148,31 +156,136 @@ class RHF:
         """Closed-shell electronic energy ``1/2 Tr[D (H + F)]``."""
         return 0.5 * float(np.sum(density * (self.hcore + fock)))
 
-    def run(self, *, initial_density: np.ndarray | None = None) -> SCFResult:
+    def _checkpoint_state(
+        self,
+        cycle: int,
+        e_old: float,
+        D: np.ndarray,
+        diis: DIIS | None,
+        history: list[SCFIteration],
+    ) -> SCFCheckpoint:
+        """Snapshot the loop state at the end of ``cycle``."""
+        return SCFCheckpoint(
+            kind="rhf",
+            cycle=cycle,
+            energy=e_old,
+            densities=(D,),
+            diis_focks=diis.focks if diis is not None else [],
+            diis_errors=diis.errors if diis is not None else [],
+            history=np.array(
+                [
+                    [h.iteration, h.energy, h.density_rms, h.energy_change]
+                    for h in history
+                ],
+                dtype=np.float64,
+            ),
+            nbf=self.basis.nbf,
+            nelectrons=self.basis.molecule.nelectrons,
+            label=self.basis.molecule.name,
+        )
+
+    def run(
+        self,
+        *,
+        initial_density: np.ndarray | None = None,
+        restart: SCFCheckpoint | str | Path | None = None,
+        checkpoint: CheckpointManager | str | Path | None = None,
+        recovery: ConvergenceGuard | bool | None = None,
+        strict: bool = True,
+    ) -> SCFResult:
         """Iterate the SCF to convergence.
 
         Parameters
         ----------
         initial_density:
             Optional starting density; defaults to the core guess.
+        restart:
+            An :class:`~repro.resilience.checkpoint.SCFCheckpoint` (or
+            a path to one) to resume from: the run restores the saved
+            density, energy, DIIS subspace, and convergence trace, and
+            continues at the saved cycle + 1 — bitwise identical to the
+            uninterrupted run.
+        checkpoint:
+            A :class:`~repro.resilience.checkpoint.CheckpointManager`
+            (or a path, giving the default write interval) that
+            persists the loop state every N completed cycles.
+        recovery:
+            ``True`` (default guard) or a configured
+            :class:`~repro.resilience.recovery.ConvergenceGuard`:
+            detects divergence/oscillation and applies the staged
+            fallback (damping → level shift → DIIS reset).  A healthy
+            run never triggers it, so enabling it is bitwise-neutral.
+        strict:
+            Raise :class:`~repro.resilience.errors.SCFConvergenceError`
+            (carrying the partial result) when the cycle cap is reached
+            without convergence, instead of returning a result with
+            ``converged=False``.
         """
-        D = (
-            initial_density.copy()
-            if initial_density is not None
-            else core_guess_density(self.hcore, self.S, self.nocc)
-        )
+        if restart is not None and initial_density is not None:
+            raise ValueError("pass either restart or initial_density, not both")
         diis = DIIS() if self.use_diis else None
         history: list[SCFIteration] = []
         e_old = 0.0
+        start_cycle = 1
+        if restart is not None:
+            ck = load_checkpoint(restart)
+            ck.check_compatible(
+                kind="rhf",
+                nbf=self.basis.nbf,
+                nelectrons=self.basis.molecule.nelectrons,
+            )
+            D = ck.densities[0].copy()
+            e_old = ck.energy
+            if diis is not None:
+                for f, err in zip(ck.diis_focks, ck.diis_errors):
+                    diis.push(f, err)
+            history = [
+                SCFIteration(c, en, dr, de) for c, en, dr, de in ck.history_rows()
+            ]
+            start_cycle = ck.cycle + 1
+        else:
+            D = (
+                initial_density.copy()
+                if initial_density is not None
+                else core_guess_density(self.hcore, self.S, self.nocc)
+            )
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = CheckpointManager(checkpoint)
+        guard: ConvergenceGuard | None
+        guard = ConvergenceGuard() if recovery is True else (recovery or None)
+        recovery_damping: float | None = None
+        level_shift: float | None = None
+
         eps = np.zeros(self.basis.nbf)
         C = np.zeros((self.basis.nbf, self.basis.nbf))
         F = self.hcore.copy()
         converged = False
+        d_rms = de = float("inf")
+
+        def make_result() -> SCFResult:
+            return SCFResult(
+                energy=e_old + self.enuc,
+                electronic_energy=e_old,
+                nuclear_repulsion=self.enuc,
+                converged=converged,
+                iterations=history,
+                orbital_energies=eps,
+                coefficients=C,
+                density=D,
+                fock=F,
+            )
 
         tracer = get_tracer()
-        for it in range(1, self.criteria.max_iterations + 1):
+        for it in range(start_cycle, self.criteria.max_iterations + 1):
             with tracer.span("scf/iteration", iteration=it):
                 F, stats = self.fock_builder(D)
+                if not np.all(np.isfinite(F)):
+                    raise NonFiniteDensityError(
+                        f"SCF cycle {it}: Fock matrix contains "
+                        f"{int(np.sum(~np.isfinite(F)))} non-finite value(s) "
+                        f"(first bad cycle: {it}); a reduction contribution "
+                        "was likely corrupted"
+                    )
                 e_elec = self.electronic_energy(D, F)
 
                 F_eff = F
@@ -181,15 +294,29 @@ class RHF:
                         err = DIIS.error_vector(F, D, self.S, self.X)
                         diis.push(F, err)
                         F_eff = diis.extrapolate()
+                if level_shift is not None:
+                    # Closed-shell density carries occupation 2; the
+                    # occupied projector is D / 2.
+                    F_eff = level_shifted(F_eff, self.S, 0.5 * D, level_shift)
 
                 with tracer.span("scf/diagonalize", iteration=it):
                     eps, C = diagonalize_fock(F_eff, self.X)
                 D_new = density_from_coefficients(C, self.nocc)
-                if self.damping is not None and (
+                damp = recovery_damping
+                if damp is None and self.damping is not None and (
                     diis is None or diis.nvectors < 2
                 ):
-                    D_new = (1.0 - self.damping) * D_new + self.damping * D
+                    damp = self.damping
+                if damp is not None:
+                    D_new = (1.0 - damp) * D_new + damp * D
 
+                if not np.all(np.isfinite(D_new)):
+                    raise NonFiniteDensityError(
+                        f"SCF cycle {it} produced a density with "
+                        f"{int(np.sum(~np.isfinite(D_new)))} non-finite "
+                        "value(s); aborting instead of iterating on garbage "
+                        f"(first bad cycle: {it})"
+                    )
                 d_rms = density_rms_change(D_new, D)
                 de = e_elec - e_old
                 history.append(
@@ -198,18 +325,40 @@ class RHF:
 
                 D = D_new
                 e_old = e_elec
+
+                if checkpoint is not None:
+                    checkpoint.maybe_save(
+                        self._checkpoint_state(it, e_old, D, diis, history)
+                    )
+
+                if guard is not None:
+                    action = guard.observe(it, e_elec + self.enuc, d_rms)
+                    if action is not None:
+                        with tracer.span(
+                            "scf/recovery", stage=action.stage, iteration=it
+                        ):
+                            if action.stage == "damping":
+                                recovery_damping = guard.damping
+                            elif action.stage == "level_shift":
+                                level_shift = guard.level_shift
+                            elif action.stage == "diis_reset":
+                                diis = DIIS() if self.use_diis else None
+                    elif guard.exhausted:
+                        raise SCFConvergenceError(
+                            guard.failure_message(),
+                            result=make_result(),
+                            stages_applied=guard.stages_applied,
+                        )
             if self.criteria.converged(d_rms, de) and it > 1:
                 converged = True
                 break
 
-        return SCFResult(
-            energy=e_old + self.enuc,
-            electronic_energy=e_old,
-            nuclear_repulsion=self.enuc,
-            converged=converged,
-            iterations=history,
-            orbital_energies=eps,
-            coefficients=C,
-            density=D,
-            fock=F,
-        )
+        if not converged and strict:
+            raise SCFConvergenceError(
+                f"SCF did not converge in {self.criteria.max_iterations} "
+                f"cycles (last E = {e_old + self.enuc:.10f} Eh, "
+                f"dE = {de:.3e}, dRMS = {d_rms:.3e})",
+                result=make_result(),
+                stages_applied=guard.stages_applied if guard else (),
+            )
+        return make_result()

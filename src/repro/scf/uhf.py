@@ -19,12 +19,20 @@ MPI/OpenMP construction using the paper's machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    SCFCheckpoint,
+    load_checkpoint,
+)
+from repro.resilience.errors import NonFiniteDensityError, SCFConvergenceError
+from repro.resilience.recovery import ConvergenceGuard, level_shifted
 from repro.scf.convergence import ConvergenceCriteria, density_rms_change
 from repro.scf.diis import DIIS
 from repro.scf.guess import diagonalize_fock, orthogonalizer
@@ -169,19 +177,106 @@ class UHF:
 
     # -- driver ------------------------------------------------------------
 
-    def run(self) -> UHFResult:
-        """Iterate to self-consistency."""
-        da, db = self._initial_densities()
+    def _checkpoint_state(
+        self,
+        cycle: int,
+        e_old: float,
+        da: np.ndarray,
+        db: np.ndarray,
+        diis: DIIS | None,
+        history: list[tuple[int, float, float, float]],
+    ) -> SCFCheckpoint:
+        """Snapshot the UHF loop state at the end of ``cycle``."""
+        return SCFCheckpoint(
+            kind="uhf",
+            cycle=cycle,
+            energy=e_old,
+            densities=(da, db),
+            diis_focks=diis.focks if diis is not None else [],
+            diis_errors=diis.errors if diis is not None else [],
+            history=np.array(history, dtype=np.float64).reshape(-1, 4),
+            nbf=self.basis.nbf,
+            nelectrons=self.basis.molecule.nelectrons,
+            label=self.basis.molecule.name,
+        )
+
+    def run(
+        self,
+        *,
+        restart: SCFCheckpoint | str | Path | None = None,
+        checkpoint: CheckpointManager | str | Path | None = None,
+        recovery: ConvergenceGuard | bool | None = None,
+        strict: bool = True,
+    ) -> UHFResult:
+        """Iterate to self-consistency.
+
+        ``restart`` / ``checkpoint`` / ``recovery`` / ``strict`` behave
+        as in :meth:`repro.scf.rhf.RHF.run` (checkpoint round-trips are
+        bitwise exact; non-convergence raises a typed
+        :class:`~repro.resilience.errors.SCFConvergenceError` carrying
+        the partial result unless ``strict=False``).
+        """
+        history: list[tuple[int, float, float, float]] = []
         diis = DIIS() if self.use_diis else None
         e_old = 0.0
+        start_cycle = 1
+        if restart is not None:
+            ck = load_checkpoint(restart)
+            ck.check_compatible(
+                kind="uhf",
+                nbf=self.basis.nbf,
+                nelectrons=self.basis.molecule.nelectrons,
+            )
+            da, db = (d.copy() for d in ck.densities)
+            e_old = ck.energy
+            if diis is not None:
+                for f, err in zip(ck.diis_focks, ck.diis_errors):
+                    diis.push(f, err)
+            history = ck.history_rows()
+            start_cycle = ck.cycle + 1
+        else:
+            da, db = self._initial_densities()
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = CheckpointManager(checkpoint)
+        guard: ConvergenceGuard | None
+        guard = ConvergenceGuard() if recovery is True else (recovery or None)
+        recovery_damping: float | None = None
+        level_shift: float | None = None
+
         converged = False
-        it = 0
+        it = start_cycle - 1
+        drms = de = float("inf")
         eps_a = eps_b = np.zeros(self.basis.nbf)
         ca = cb = np.zeros((self.basis.nbf, self.basis.nbf))
         fa = fb = self.hcore
 
-        for it in range(1, self.criteria.max_iterations + 1):
+        def make_result() -> UHFResult:
+            sz = 0.5 * (self.nalpha - self.nbeta)
+            result = UHFResult(
+                energy=e_old + self.enuc,
+                electronic_energy=e_old,
+                nuclear_repulsion=self.enuc,
+                converged=converged,
+                niterations=it,
+                orbital_energies=(eps_a, eps_b),
+                coefficients=(ca, cb),
+                densities=(da, db),
+                focks=(fa, fb),
+                s_squared=self.s_squared(ca, cb),
+            )
+            object.__setattr__(result, "_exact_s2", sz * (sz + 1.0))
+            return result
+
+        for it in range(start_cycle, self.criteria.max_iterations + 1):
             fa, fb, _stats = self.fock_builder(da, db)
+            for spin, f in (("alpha", fa), ("beta", fb)):
+                if not np.all(np.isfinite(f)):
+                    raise NonFiniteDensityError(
+                        f"SCF cycle {it}: {spin} Fock matrix contains "
+                        f"{int(np.sum(~np.isfinite(f)))} non-finite value(s) "
+                        f"(first bad cycle: {it}); a reduction contribution "
+                        "was likely corrupted"
+                    )
             e_elec = self.electronic_energy(da, db, fa, fb)
 
             fa_eff, fb_eff = fa, fb
@@ -200,34 +295,67 @@ class UHF:
                 n2 = self.basis.nbf * self.basis.nbf
                 fa_eff = ext[:n2].reshape(fa.shape)
                 fb_eff = ext[n2:].reshape(fb.shape)
+            if level_shift is not None:
+                # Spin densities are idempotent occupied projectors.
+                fa_eff = level_shifted(fa_eff, self.S, da, level_shift)
+                fb_eff = level_shifted(fb_eff, self.S, db, level_shift)
 
             eps_a, ca = diagonalize_fock(fa_eff, self.X)
             eps_b, cb = diagonalize_fock(fb_eff, self.X)
             da_new = ca[:, : self.nalpha] @ ca[:, : self.nalpha].T
             db_new = cb[:, : self.nbeta] @ cb[:, : self.nbeta].T
+            if recovery_damping is not None:
+                da_new = (
+                    1.0 - recovery_damping
+                ) * da_new + recovery_damping * da
+                db_new = (
+                    1.0 - recovery_damping
+                ) * db_new + recovery_damping * db
 
+            if not (np.all(np.isfinite(da_new)) and np.all(np.isfinite(db_new))):
+                raise NonFiniteDensityError(
+                    f"UHF cycle {it} produced a non-finite spin density; "
+                    f"aborting (first bad cycle: {it})"
+                )
             drms = max(
                 density_rms_change(da_new, da),
                 density_rms_change(db_new, db),
             )
             de = e_elec - e_old
             da, db, e_old = da_new, db_new, e_elec
+            history.append((it, e_elec + self.enuc, drms, de))
+
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    self._checkpoint_state(it, e_old, da, db, diis, history)
+                )
+
+            if guard is not None:
+                action = guard.observe(it, e_elec + self.enuc, drms)
+                if action is not None:
+                    if action.stage == "damping":
+                        recovery_damping = guard.damping
+                    elif action.stage == "level_shift":
+                        level_shift = guard.level_shift
+                    elif action.stage == "diis_reset":
+                        diis = DIIS() if self.use_diis else None
+                elif guard.exhausted:
+                    raise SCFConvergenceError(
+                        guard.failure_message(),
+                        result=make_result(),
+                        stages_applied=guard.stages_applied,
+                    )
+
             if self.criteria.converged(drms, de) and it > 1:
                 converged = True
                 break
 
-        sz = 0.5 * (self.nalpha - self.nbeta)
-        result = UHFResult(
-            energy=e_old + self.enuc,
-            electronic_energy=e_old,
-            nuclear_repulsion=self.enuc,
-            converged=converged,
-            niterations=it,
-            orbital_energies=(eps_a, eps_b),
-            coefficients=(ca, cb),
-            densities=(da, db),
-            focks=(fa, fb),
-            s_squared=self.s_squared(ca, cb),
-        )
-        object.__setattr__(result, "_exact_s2", sz * (sz + 1.0))
-        return result
+        if not converged and strict:
+            raise SCFConvergenceError(
+                f"UHF did not converge in {self.criteria.max_iterations} "
+                f"cycles (last E = {e_old + self.enuc:.10f} Eh, "
+                f"dE = {de:.3e}, dRMS = {drms:.3e})",
+                result=make_result(),
+                stages_applied=guard.stages_applied if guard else (),
+            )
+        return make_result()

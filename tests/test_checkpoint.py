@@ -1,0 +1,226 @@
+"""Checkpoint/restart: interrupted runs resume bitwise identically."""
+
+import numpy as np
+import pytest
+
+from repro.core.scf_driver import ParallelSCF
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.resilience import (
+    CheckpointError,
+    CheckpointManager,
+    SCFCheckpoint,
+    SCFConvergenceError,
+    load_checkpoint,
+)
+from repro.scf.convergence import ConvergenceCriteria
+
+
+def _rhf_checkpoint(nbf=3, cycle=4):
+    rng = np.random.default_rng(7)
+    d = rng.standard_normal((nbf, nbf))
+    return SCFCheckpoint(
+        kind="rhf",
+        cycle=cycle,
+        energy=-74.5,
+        densities=(d + d.T,),
+        diis_focks=[rng.standard_normal((nbf, nbf)) for _ in range(2)],
+        diis_errors=[rng.standard_normal((nbf, nbf)) for _ in range(2)],
+        history=np.array([[1, -74.0, 1e-1, -74.0], [2, -74.4, 1e-2, -0.4]]),
+        nbf=nbf,
+        nelectrons=10,
+        label="water/sto-3g",
+    )
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_checkpoint_save_load_round_trip_is_exact(tmp_path):
+    ck = _rhf_checkpoint()
+    path = ck.save(tmp_path / "state.npz")
+    back = SCFCheckpoint.load(path)
+    assert back.kind == ck.kind
+    assert back.cycle == ck.cycle
+    assert back.energy == ck.energy            # float64 binary round-trip
+    for a, b in zip(back.densities, ck.densities):
+        assert np.array_equal(a, b)
+    for a, b in zip(back.diis_focks, ck.diis_focks):
+        assert np.array_equal(a, b)
+    for a, b in zip(back.diis_errors, ck.diis_errors):
+        assert np.array_equal(a, b)
+    assert np.array_equal(back.history, ck.history)
+    assert back.nbf == ck.nbf
+    assert back.nelectrons == ck.nelectrons
+    assert back.label == ck.label
+
+
+def test_checkpoint_constructor_validates():
+    with pytest.raises(CheckpointError, match="kind"):
+        SCFCheckpoint(kind="dft", cycle=1, energy=0.0, densities=())
+    with pytest.raises(CheckpointError, match="cycle"):
+        SCFCheckpoint(kind="rhf", cycle=0, energy=0.0, densities=())
+    with pytest.raises(CheckpointError, match="DIIS"):
+        SCFCheckpoint(
+            kind="rhf", cycle=1, energy=0.0, densities=(),
+            diis_focks=[np.eye(2)], diis_errors=[],
+        )
+
+
+def test_load_missing_or_malformed_file(tmp_path):
+    with pytest.raises(CheckpointError, match="not found"):
+        SCFCheckpoint.load(tmp_path / "nope.npz")
+    junk = tmp_path / "junk.npz"
+    junk.write_bytes(b"this is not an npz archive")
+    with pytest.raises(CheckpointError):
+        SCFCheckpoint.load(junk)
+
+
+def test_load_rejects_future_format_version(tmp_path):
+    path = _rhf_checkpoint().save(tmp_path / "state.npz")
+    with np.load(path) as z:
+        payload = {k: z[k] for k in z.files}
+    payload["version"] = np.array(99)
+    with (tmp_path / "state.npz").open("wb") as fh:
+        np.savez(fh, **payload)
+    with pytest.raises(CheckpointError, match="version 99"):
+        SCFCheckpoint.load(path)
+
+
+def test_check_compatible_guards_restart():
+    ck = _rhf_checkpoint()
+    ck.check_compatible(kind="rhf", nbf=3, nelectrons=10)
+    with pytest.raises(CheckpointError, match="UHF"):
+        ck.check_compatible(kind="uhf", nbf=3, nelectrons=10)
+    with pytest.raises(CheckpointError, match="basis"):
+        ck.check_compatible(kind="rhf", nbf=7, nelectrons=10)
+    with pytest.raises(CheckpointError, match="electrons"):
+        ck.check_compatible(kind="rhf", nbf=3, nelectrons=8)
+
+
+def test_load_checkpoint_coerces_paths_and_objects(tmp_path):
+    ck = _rhf_checkpoint()
+    assert load_checkpoint(ck) is ck
+    path = ck.save(tmp_path / "s.npz")
+    assert load_checkpoint(path).cycle == ck.cycle
+    assert load_checkpoint(str(path)).cycle == ck.cycle
+
+
+# -- CheckpointManager --------------------------------------------------------
+
+
+def test_manager_writes_on_interval_only(tmp_path):
+    mgr = CheckpointManager(tmp_path / "s.npz", every=3)
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        for cycle in range(1, 8):
+            ck = _rhf_checkpoint(cycle=cycle)
+            assert mgr.maybe_save(ck) == (cycle % 3 == 0)
+    assert mgr.writes == 2                     # cycles 3 and 6
+    snap = registry.snapshot()
+    assert snap["resilience.checkpoints_written"] == 2
+    assert snap["resilience.last_checkpoint_cycle"] == 6
+    assert SCFCheckpoint.load(mgr.path).cycle == 6   # latest wins
+
+
+def test_manager_rejects_bad_interval(tmp_path):
+    with pytest.raises(CheckpointError):
+        CheckpointManager(tmp_path / "s.npz", every=0)
+
+
+# -- end-to-end bitwise restart ----------------------------------------------
+
+
+def _interrupt(scf_factory, ck_path, *, stop_after, every):
+    """Run with a cycle cap, checkpointing; return the raised error."""
+    scf = scf_factory(ConvergenceCriteria(max_iterations=stop_after))
+    with pytest.raises(SCFConvergenceError) as err:
+        scf.run(checkpoint=CheckpointManager(ck_path, every=every))
+    return err.value
+
+
+@pytest.mark.parametrize("algorithm,nthreads", [
+    ("mpi-only", 1),
+    ("private-fock", 2),
+    ("shared-fock", 2),
+])
+def test_rhf_restart_is_bitwise_identical(
+    algorithm, nthreads, water_sto3g, tmp_path
+):
+    def factory(criteria=None):
+        return ParallelSCF(
+            water_sto3g, algorithm, nranks=2, nthreads=nthreads,
+            criteria=criteria,
+        )
+
+    full = factory().run()
+    assert full.converged
+
+    ck_path = tmp_path / "scf.npz"
+    err = _interrupt(factory, ck_path, stop_after=4, every=2)
+    assert err.result is not None              # partial result survives
+    assert not err.result.converged
+
+    restarted = factory().run(restart=ck_path)
+    assert restarted.converged
+    assert restarted.energy == full.energy     # bitwise
+    # resumed at cycle 5: same total cycle count as the uninterrupted run
+    assert (restarted.scf.iterations[-1].iteration
+            == full.scf.iterations[-1].iteration)
+    # the restored trace (cycles 1-4) plus the replayed tail match the
+    # uninterrupted trace cycle for cycle, bit for bit
+    assert len(restarted.scf.iterations) == len(full.scf.iterations)
+    for a, b in zip(restarted.scf.iterations, full.scf.iterations):
+        assert a.iteration == b.iteration
+        assert a.energy == b.energy
+        assert a.density_rms == b.density_rms
+
+
+def test_uhf_restart_is_bitwise_identical(water_sto3g, tmp_path):
+    from repro.core.fock_uhf import UHFPrivateFockBuilder
+    from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+    from repro.scf.uhf import UHF
+
+    h = kinetic_matrix(water_sto3g) + nuclear_matrix(water_sto3g)
+
+    def factory(criteria=None):
+        builder = UHFPrivateFockBuilder(
+            water_sto3g, h, nranks=2, nthreads=2
+        )
+        return UHF(water_sto3g, fock_builder=builder, criteria=criteria)
+
+    full = factory().run()
+    assert full.converged
+
+    ck_path = tmp_path / "uhf.npz"
+    err = _interrupt(factory, ck_path, stop_after=4, every=2)
+    assert err.result is not None
+
+    restarted = factory().run(restart=ck_path)
+    assert restarted.converged
+    assert restarted.energy == full.energy
+    # niterations records the final cycle index: same total cycle count
+    assert restarted.niterations == full.niterations
+
+
+def test_restart_conflicts_with_initial_density(water_sto3g, tmp_path):
+    scf = ParallelSCF(water_sto3g, "mpi-only", nranks=1)
+    ck = _rhf_checkpoint()
+    with pytest.raises(ValueError, match="not both"):
+        scf.run(restart=ck, initial_density=np.eye(water_sto3g.nbf))
+
+
+def test_restart_rejects_mismatched_checkpoint(water_sto3g, tmp_path):
+    ck = _rhf_checkpoint(nbf=3)                # water/sto-3g has 7 BFs
+    path = ck.save(tmp_path / "wrong.npz")
+    scf = ParallelSCF(water_sto3g, "mpi-only", nranks=1)
+    with pytest.raises(CheckpointError, match="basis"):
+        scf.run(restart=path)
+
+
+def test_run_accepts_checkpoint_path_directly(water_sto3g, tmp_path):
+    path = tmp_path / "auto.npz"
+    res = ParallelSCF(water_sto3g, "mpi-only", nranks=1).run(checkpoint=path)
+    assert res.converged
+    ck = SCFCheckpoint.load(path)
+    assert ck.kind == "rhf"
+    assert ck.cycle % 5 == 0                   # default interval

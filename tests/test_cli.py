@@ -94,3 +94,59 @@ def test_reproduce_fig6_plot(capsys):
 def test_bad_dataset_rejected():
     with pytest.raises(SystemExit):
         main(["dataset", "42nm"])
+
+
+# -- resilience flags ---------------------------------------------------------
+
+
+def test_scf_with_fault_plan_recovers_bitwise(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--ranks", "4", "--threads", "2",
+               "--fault-plan", "kill:rank=1:cycle=2:after=0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-74.94207995" in out               # same digits as fault-free
+
+
+def test_scf_checkpoint_then_restart(water_xyz, tmp_path, capsys):
+    ck = tmp_path / "scf.npz"
+    rc = main(["scf", str(water_xyz), "--ranks", "2",
+               "--checkpoint", str(ck), "--checkpoint-every", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert ck.exists()
+    assert "checkpoints" in out
+    rc = main(["scf", str(water_xyz), "--ranks", "2", "--restart", str(ck)])
+    assert rc == 0
+    assert "-74.94207995" in capsys.readouterr().out
+
+
+def test_scf_recovery_flag_is_neutral(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--scf-recovery"])
+    assert rc == 0
+    assert "-74.94207995" in capsys.readouterr().out
+
+
+def test_fault_plan_out_of_range_rank_rejected(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--ranks", "2",
+               "--fault-plan", "kill:rank=7:cycle=1"])
+    assert rc == 2
+    assert "rank 7" in capsys.readouterr().err
+
+
+def test_fault_plan_malformed_spec_rejected(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--fault-plan", "meteor:rank=0"])
+    assert rc == 2
+    assert "fault" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["--eri-cache-mb", "0"],
+    ["--eri-cache-mb", "-4"],
+    ["--eri-cache-mb", "lots"],
+    ["--ranks", "0"],
+    ["--threads", "-1"],
+    ["--checkpoint-every", "0"],
+])
+def test_invalid_numeric_flags_rejected(water_xyz, argv):
+    with pytest.raises(SystemExit):
+        main(["scf", str(water_xyz), *argv])

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.machine",
     "repro.perfsim",
     "repro.analysis",
+    "repro.resilience",
 ]
 
 MODULES = [
@@ -47,6 +48,10 @@ MODULES = [
     "repro.scf.incremental",
     "repro.scf.properties",
     "repro.scf.eigensolver",
+    "repro.resilience.errors",
+    "repro.resilience.faults",
+    "repro.resilience.checkpoint",
+    "repro.resilience.recovery",
     "repro.parallel.comm",
     "repro.parallel.dlb",
     "repro.parallel.threads",
