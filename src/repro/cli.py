@@ -5,7 +5,15 @@ Commands
 ``scf``        Run RHF/UHF on an XYZ file with any of the parallel
                Fock algorithms.
 ``profile``    Run an SCF under the tracer and export a Chrome-trace
-               timeline, a text profile, and NDJSON metrics.
+               timeline, a text profile, NDJSON spans/metrics/events —
+               plus, with ``--timeline``, the per-rank busy/idle/wait
+               and load-imbalance analysis.
+``timeline``   Analyze saved ``spans.ndjson`` / ``events.ndjson`` dumps
+               (one or several runs) and optionally merge them into a
+               single multi-run Chrome trace.
+``compare``    Diff two or more benchmark/metric records under a noise
+               tolerance; exits nonzero on regressions (the CI
+               ``bench-regress`` gate).
 ``dataset``    Describe one of the paper's graphene datasets (sizes,
                screening statistics).
 ``simulate``   Predict the Fock-build time of one run configuration.
@@ -46,6 +54,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type: a float >= 0 (tolerances may legitimately be 0)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
     return value
 
 
@@ -142,10 +161,87 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--charge", type=int, default=0)
     prof.add_argument(
         "--output-dir", type=Path, default=Path("profile_out"),
-        help="directory for trace.json / profile.txt / metrics.ndjson",
+        help="directory for trace.json / profile.txt / metrics.ndjson "
+             "/ spans.ndjson / events.ndjson",
+    )
+    prof.add_argument(
+        "--timeline", action="store_true",
+        help="run the timeline analyzer: per-rank busy/idle/wait "
+             "breakdown, load-imbalance decomposition, critical path, "
+             "and DLB Gantt (writes timeline.txt + timeline.json)",
     )
     _add_cache_args(prof)
     _add_resilience_args(prof, restartable=False)
+
+    tl = sub.add_parser(
+        "timeline",
+        help="analyze saved spans.ndjson dumps; optionally merge runs "
+             "into one Chrome trace",
+    )
+    tl.add_argument(
+        "spans", nargs="+", type=Path, metavar="SPANS_NDJSON",
+        help="spans.ndjson file(s) written by 'repro profile', one per run",
+    )
+    tl.add_argument(
+        "--events", action="append", type=Path, default=[], metavar="NDJSON",
+        help="events.ndjson for the corresponding run (repeatable; "
+             "matched positionally to the spans files)",
+    )
+    tl.add_argument(
+        "--labels", default=None, metavar="A,B,...",
+        help="comma-separated run labels (default: each file's parent "
+             "directory name)",
+    )
+    tl.add_argument(
+        "--merged-trace", type=Path, default=None, metavar="JSON",
+        help="write all runs side by side as one Chrome trace document",
+    )
+    tl.add_argument(
+        "--report", type=Path, default=None, metavar="TXT",
+        help="also write the per-run timeline reports to this file",
+    )
+
+    cmp_ = sub.add_parser(
+        "compare",
+        help="diff benchmark/metric records under a noise tolerance; "
+             "exits 1 on regressions",
+    )
+    cmp_.add_argument(
+        "baseline", type=Path,
+        help="baseline record: a BENCH_*.json or an NDJSON metrics dump",
+    )
+    cmp_.add_argument(
+        "candidates", nargs="+", type=Path,
+        help="candidate record(s) to gate against the baseline",
+    )
+    cmp_.add_argument(
+        "--tolerance", type=_nonneg_float, default=0.05, metavar="REL",
+        help="relative change treated as noise (default: 0.05 = ±5%%)",
+    )
+    cmp_.add_argument(
+        "--abs-tolerance", type=_nonneg_float, default=1e-9, metavar="ABS",
+        help="absolute change treated as noise (default: 1e-9)",
+    )
+    cmp_.add_argument(
+        "--ignore", action="append", default=[], metavar="GLOB",
+        help="skip keys matching this glob (repeatable), e.g. '*wall_s'",
+    )
+    cmp_.add_argument(
+        "--only", action="append", default=[], metavar="GLOB",
+        help="compare only keys matching this glob (repeatable)",
+    )
+    cmp_.add_argument(
+        "--allow-missing", action="store_true",
+        help="keys absent from a candidate are OK instead of 'removed'",
+    )
+    cmp_.add_argument(
+        "--json", type=Path, default=None, metavar="OUT",
+        help="write the machine-readable verdict(s) to this JSON file",
+    )
+    cmp_.add_argument(
+        "--report", type=Path, default=None, metavar="OUT",
+        help="also write the human-readable report to this file",
+    )
 
     ds = sub.add_parser("dataset", help="describe a benchmark dataset")
     ds.add_argument("label", choices=DATASETS)
@@ -262,13 +358,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.chem.molecule import Molecule, water
     from repro.core.scf_driver import ParallelSCF
     from repro.obs import (
+        EventLog,
         MetricsRegistry,
         Tracer,
+        events_ndjson,
         metrics_ndjson,
         profile_report,
+        spans_ndjson,
+        use_event_log,
         use_metrics,
         use_tracer,
         write_chrome_trace,
+        write_text,
     )
 
     if args.xyz is not None:
@@ -302,7 +403,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
     tracer = Tracer()
     registry = MetricsRegistry()
-    with use_tracer(tracer), use_metrics(registry):
+    elog = EventLog()
+    with use_tracer(tracer), use_metrics(registry), use_event_log(elog):
         t0 = time.perf_counter()
         try:
             res = scf.run(recovery=True if args.scf_recovery else None)
@@ -318,19 +420,38 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
 
     out = args.output_dir
-    out.mkdir(parents=True, exist_ok=True)
-    trace_path = write_chrome_trace(tracer, out / "trace.json")
-    report_path = out / "profile.txt"
-    report_path.write_text(report + "\n")
+    # Events share the spans' relative time base (earliest span start).
+    span_starts = [s.start for s in tracer.walk() if s.end is not None]
+    events_t0 = min(span_starts) if span_starts else None
+    trace_path = write_chrome_trace(tracer, out / "trace.json", events=elog)
+    report_path = write_text(out / "profile.txt", report)
+    spans_path = write_text(out / "spans.ndjson", spans_ndjson(tracer))
+    events_path = write_text(
+        out / "events.ndjson", events_ndjson(elog, t0=events_t0)
+    )
     metrics_path = out / "metrics.ndjson"
     lines = [metrics_ndjson(registry)]
     lines += [
         json.dumps({"fock_build": i + 1, **s.as_dict()})
         for i, s in enumerate(res.fock_stats)
     ]
-    metrics_path.write_text("\n".join(lines) + "\n")
+    write_text(metrics_path, "\n".join(lines))
 
     print(f"\n{report}\n")
+    if args.timeline:
+        from repro.obs.analysis import analyze_tracer, timeline_report
+
+        analysis = analyze_tracer(tracer, elog)
+        tl_report = timeline_report(
+            analysis, title=f"timeline ({args.algorithm})"
+        )
+        tl_path = write_text(out / "timeline.txt", tl_report)
+        write_text(
+            out / "timeline.json",
+            json.dumps(analysis.to_dict(), indent=2),
+        )
+        print(f"{tl_report}\n")
+        print(f"timeline     : {tl_path} (+ timeline.json)")
     print(f"RHF energy   : {res.energy:.10f} Eh "
           f"(converged={res.converged}, {res.scf.niterations} iterations)")
     print(f"load balance : rank imbalance {res.rank_imbalance:.3f}, "
@@ -341,7 +462,103 @@ def cmd_profile(args: argparse.Namespace) -> int:
           f"ui.perfetto.dev)")
     print(f"profile      : {report_path}")
     print(f"metrics      : {metrics_path}")
+    print(f"spans        : {spans_path}")
+    print(f"events       : {events_path} ({len(elog)} events)")
     return 0 if res.converged else 1
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import events_from_ndjson, write_text
+    from repro.obs.analysis import (
+        analyze_timeline,
+        merged_chrome_trace,
+        spans_from_ndjson,
+        timeline_report,
+    )
+
+    if args.events and len(args.events) != len(args.spans):
+        print(
+            f"error: {len(args.events)} --events file(s) for "
+            f"{len(args.spans)} spans file(s); counts must match",
+            file=sys.stderr,
+        )
+        return 2
+    if args.labels is not None:
+        labels = [s.strip() for s in args.labels.split(",")]
+        if len(labels) != len(args.spans):
+            print(
+                f"error: {len(labels)} label(s) for {len(args.spans)} "
+                f"spans file(s); counts must match",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        labels = [p.resolve().parent.name or p.stem for p in args.spans]
+
+    runs = []
+    for i, spans_path in enumerate(args.spans):
+        if not spans_path.exists():
+            print(f"error: no such file: {spans_path}", file=sys.stderr)
+            return 2
+        spans = spans_from_ndjson(spans_path.read_text())
+        events = (
+            events_from_ndjson(args.events[i].read_text())
+            if args.events else []
+        )
+        runs.append((labels[i], spans, events))
+
+    reports = []
+    for label, spans, events in runs:
+        analysis = analyze_timeline(spans, events)
+        reports.append(timeline_report(analysis, title=f"timeline ({label})"))
+    body = "\n\n".join(reports)
+    print(body)
+    if args.report is not None:
+        write_text(args.report, body)
+        print(f"\nreport       : {args.report}")
+    if args.merged_trace is not None:
+        write_text(args.merged_trace, json.dumps(merged_chrome_trace(runs)))
+        print(f"merged trace : {args.merged_trace} "
+              f"({len(runs)} run(s); open in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import write_text
+    from repro.obs.analysis import compare_runs, load_run
+
+    for path in [args.baseline, *args.candidates]:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+
+    baseline = load_run(args.baseline)
+    comparisons = [
+        compare_runs(
+            baseline,
+            load_run(candidate),
+            tolerance=args.tolerance,
+            abs_tolerance=args.abs_tolerance,
+            ignore=args.ignore,
+            only=args.only,
+            allow_missing=args.allow_missing,
+        )
+        for candidate in args.candidates
+    ]
+
+    body = "\n\n".join(c.report() for c in comparisons)
+    print(body)
+    if args.report is not None:
+        write_text(args.report, body)
+    if args.json is not None:
+        verdicts = [c.to_dict() for c in comparisons]
+        payload = verdicts[0] if len(verdicts) == 1 else verdicts
+        write_text(args.json, json.dumps(payload, indent=2))
+    return 1 if any(c.verdict == "fail" for c in comparisons) else 0
 
 
 def cmd_dataset(args: argparse.Namespace) -> int:
@@ -484,6 +701,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "scf": cmd_scf,
         "profile": cmd_profile,
+        "timeline": cmd_timeline,
+        "compare": cmd_compare,
         "dataset": cmd_dataset,
         "simulate": cmd_simulate,
         "reproduce": cmd_reproduce,

@@ -21,6 +21,7 @@ from repro.core.quartets import QuartetEngine, symmetrize_two_electron
 from repro.core.screening import DEFAULT_TAU, Screening
 from repro.integrals.cache import QuartetCache
 from repro.integrals.schwarz import schwarz_matrix
+from repro.obs.events import get_event_log
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.parallel.comm import SimComm, SimWorld
 from repro.parallel.dlb import DynamicLoadBalancer
@@ -325,6 +326,14 @@ class ParallelFockBuilderBase:
                 registry = get_metrics()
                 if registry is not None:
                     registry.counter("resilience.corrupt_injected").inc()
+                log = get_event_log()
+                if log is not None:
+                    log.emit(
+                        "fault.corrupt", rank=comm.rank,
+                        cycle=self._build_index, payload=event.payload,
+                        detected=self.validate_reductions,
+                        retransmitted=self.validate_reductions,
+                    )
                 if self.validate_reductions:
                     if registry is not None:
                         registry.counter(

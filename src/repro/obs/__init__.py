@@ -12,13 +12,26 @@ cost almost nothing until :func:`use_tracer` / :func:`use_metrics`
 (or the ``repro profile`` CLI) installs live ones.
 """
 
+from repro.obs.events import (
+    Event,
+    EventLog,
+    events_from_ndjson,
+    events_ndjson,
+    get_event_log,
+    set_event_log,
+    use_event_log,
+)
 from repro.obs.export import (
     chrome_trace_events,
+    event_instants,
     metrics_ndjson,
     profile_report,
     spans_ndjson,
     to_chrome_trace,
     write_chrome_trace,
+    write_metrics_ndjson,
+    write_spans_ndjson,
+    write_text,
 )
 from repro.obs.metrics import (
     Counter,
@@ -42,6 +55,8 @@ from repro.obs.tracer import (
 __all__ = [
     "NULL_TRACER",
     "Counter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -49,15 +64,24 @@ __all__ = [
     "Span",
     "Tracer",
     "chrome_trace_events",
+    "event_instants",
+    "events_from_ndjson",
+    "events_ndjson",
+    "get_event_log",
     "get_metrics",
     "get_tracer",
     "metrics_ndjson",
     "profile_report",
+    "set_event_log",
     "set_metrics",
     "set_tracer",
     "spans_ndjson",
     "to_chrome_trace",
+    "use_event_log",
     "use_metrics",
     "use_tracer",
     "write_chrome_trace",
+    "write_metrics_ndjson",
+    "write_spans_ndjson",
+    "write_text",
 ]

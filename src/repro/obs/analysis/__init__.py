@@ -1,0 +1,60 @@
+"""repro.obs.analysis — turn raw telemetry into the paper's analyses.
+
+PR 1's observability layer *exports* spans and metrics; this package
+*consumes* them:
+
+* :mod:`repro.obs.analysis.timeline` — per-rank/per-thread
+  busy/idle/wait breakdowns, DLB-grant Gantt, critical-path extraction,
+  load-imbalance decomposition, and merged multi-run Chrome traces
+  (the paper's Figures 3–6 discussion, from real span data).
+* :mod:`repro.obs.analysis.compare` — a diff engine over benchmark
+  records and NDJSON metric dumps with configurable noise tolerance;
+  the ``repro compare`` CLI and the CI ``bench-regress`` gate sit on
+  top of it.
+"""
+
+from repro.obs.analysis.compare import (
+    KeyDelta,
+    RunComparison,
+    RunRecord,
+    compare_runs,
+    flatten_record,
+    load_run,
+)
+from repro.obs.analysis.timeline import (
+    RankBreakdown,
+    ThreadBreakdown,
+    TimelineAnalysis,
+    TimelineSpan,
+    analyze_timeline,
+    analyze_tracer,
+    ascii_gantt,
+    chrome_events_from_spans,
+    critical_path,
+    merged_chrome_trace,
+    spans_from_ndjson,
+    timeline_report,
+    timeline_spans,
+)
+
+__all__ = [
+    "KeyDelta",
+    "RankBreakdown",
+    "RunComparison",
+    "RunRecord",
+    "ThreadBreakdown",
+    "TimelineAnalysis",
+    "TimelineSpan",
+    "analyze_timeline",
+    "analyze_tracer",
+    "ascii_gantt",
+    "chrome_events_from_spans",
+    "compare_runs",
+    "critical_path",
+    "flatten_record",
+    "load_run",
+    "merged_chrome_trace",
+    "spans_from_ndjson",
+    "timeline_report",
+    "timeline_spans",
+]

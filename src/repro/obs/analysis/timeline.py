@@ -1,0 +1,656 @@
+"""Timeline analytics over the tracer's span forest.
+
+The paper's profiling discussion (Figures 3–6) is not about raw timers
+— it is about *where the parallel time goes*: how busy each MPI rank
+and OpenMP thread is, how much of the Fock build is synchronization
+(flushes, ``gsumf``), how well the dynamic load balancer equalizes the
+per-rank work, and which call chain bounds the time to solution.  This
+module computes exactly those quantities from recorded spans
+(:class:`~repro.obs.tracer.Tracer` or a ``spans_ndjson`` dump) plus an
+optional structured event log, and renders them as:
+
+* per-rank and per-thread **busy/idle/wait breakdowns** (interval-union
+  based, so nested instrumentation is never double counted);
+* a **load-imbalance decomposition** — max/mean busy time per rank
+  (the paper's load-balance metric) and the DLB efficiency it implies;
+* a **DLB-grant Gantt** — an ASCII per-rank timeline with injected
+  faults, checkpoints, and recovery events overlaid;
+* the **critical path** — the chain of longest spans from the root;
+* a **merged multi-run Chrome trace** for side-by-side inspection of
+  several runs (e.g. the three Fock algorithms) in one Perfetto tab.
+
+Span classification is by name: quartet/diagonalization work counts as
+*busy*, flush/reduction spans as *wait*, structural spans (``scf/run``,
+``fock/build``) as neither.  Everything is computed on the recorded
+wall clock, so the same analysis applies to live tracers and to NDJSON
+files read back days later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.obs.events import Event
+from repro.obs.export import _json_safe
+from repro.obs.tracer import Tracer
+
+_MICRO = 1e6
+
+#: Span names that represent computational work (busy time).
+WORK_SPANS = frozenset(
+    {
+        "fock/kl",
+        "fock/jk",
+        "fock/quartets",
+        "eri/quartet_batch",
+        "scf/diagonalize",
+        "scf/diis",
+        "perfsim/assign_dynamic",
+    }
+)
+
+#: Span names that represent synchronization / reduction (wait time).
+WAIT_SPANS = frozenset(
+    {
+        "fock/gsumf",
+        "fock/flush_fi",
+        "fock/flush_fj",
+        "fock/thread_reduce",
+    }
+)
+
+#: Work spans that carry an explicit OpenMP thread context.
+THREAD_WORK_SPANS = frozenset({"fock/kl", "fock/jk"})
+
+#: Event kinds shown on the Gantt, with their marker characters.
+EVENT_MARKERS = {
+    "fault.kill": "K",
+    "dlb.rank_failed": "K",
+    "fault.delay": "D",
+    "fault.corrupt": "C",
+    "fault.corrupt_rejected": "C",
+    "scf.recovery": "R",
+    "scf.checkpoint": "S",
+    "scf.restart": "^",
+    "scf.converged": "*",
+}
+
+
+@dataclass(frozen=True)
+class TimelineSpan:
+    """One completed span, flattened for analysis (attrs resolved)."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    rank: int
+    thread: int | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def category(self) -> str:
+        """``work`` / ``wait`` / ``other`` classification of this span."""
+        if self.name in WORK_SPANS:
+            return "work"
+        if self.name in WAIT_SPANS:
+            return "wait"
+        return "other"
+
+
+def _as_int(value: Any, default: int = 0) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def timeline_spans(tracer: Tracer) -> list[TimelineSpan]:
+    """Flatten a tracer's completed spans (absolute timestamps kept)."""
+    out: list[TimelineSpan] = []
+    for s in tracer.walk():
+        if s.end is None:
+            continue
+        thread = s.effective_attr("thread", None)
+        out.append(
+            TimelineSpan(
+                name=s.name,
+                start=s.start,
+                end=s.end,
+                depth=s.depth,
+                rank=_as_int(s.effective_attr("rank", 0)),
+                thread=None if thread is None else _as_int(thread),
+                attrs=dict(s.attrs),
+            )
+        )
+    return out
+
+
+def spans_from_ndjson(text: str) -> list[TimelineSpan]:
+    """Parse a ``spans_ndjson`` dump back into :class:`TimelineSpan` records."""
+    out: list[TimelineSpan] = []
+    for line in filter(None, (ln.strip() for ln in text.splitlines())):
+        rec = json.loads(line)
+        start = float(rec["start_s"])
+        attrs = rec.get("attrs", {})
+        out.append(
+            TimelineSpan(
+                name=rec["span"],
+                start=start,
+                end=start + float(rec["dur_s"]),
+                depth=int(rec.get("depth", 0)),
+                rank=_as_int(rec.get("rank", 0)),
+                thread=_as_int(rec["thread"]) if "thread" in rec else None,
+                attrs=attrs,
+            )
+        )
+    return out
+
+
+# -- interval arithmetic -----------------------------------------------------
+
+
+def _merge_intervals(
+    intervals: Iterable[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Union of half-open intervals as a sorted, disjoint list."""
+    merged: list[tuple[float, float]] = []
+    for lo, hi in sorted(intervals):
+        if hi <= lo:
+            continue
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _union_seconds(intervals: Iterable[tuple[float, float]]) -> float:
+    return sum(hi - lo for lo, hi in _merge_intervals(intervals))
+
+
+def _overlap_seconds(
+    merged: list[tuple[float, float]], lo: float, hi: float
+) -> float:
+    """Seconds of ``[lo, hi)`` covered by a merged interval list."""
+    total = 0.0
+    for a, b in merged:
+        if b <= lo:
+            continue
+        if a >= hi:
+            break
+        total += min(b, hi) - max(a, lo)
+    return total
+
+
+# -- breakdowns --------------------------------------------------------------
+
+
+@dataclass
+class RankBreakdown:
+    """Busy/wait/idle decomposition of one rank's active window."""
+
+    rank: int
+    busy_s: float
+    wait_s: float
+    first: float
+    last: float
+    nspans: int
+    work_intervals: list[tuple[float, float]] = field(repr=False)
+    wait_intervals: list[tuple[float, float]] = field(repr=False)
+
+    @property
+    def active_s(self) -> float:
+        """The rank's span window (first start to last end)."""
+        return max(self.last - self.first, 0.0)
+
+    @property
+    def idle_s(self) -> float:
+        """Window time covered by neither work nor wait spans."""
+        covered = _union_seconds(self.work_intervals + self.wait_intervals)
+        return max(self.active_s - covered, 0.0)
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_s / self.active_s if self.active_s > 0 else 0.0
+
+
+@dataclass
+class ThreadBreakdown:
+    """Busy time of one (rank, thread) OpenMP lane."""
+
+    rank: int
+    thread: int
+    busy_s: float
+    nspans: int
+
+
+@dataclass
+class CriticalPathEntry:
+    """One hop of the longest-span chain from the root."""
+
+    name: str
+    rank: int
+    total_s: float
+    self_s: float
+
+
+@dataclass
+class TimelineAnalysis:
+    """Everything :func:`timeline_report` renders, machine-readable."""
+
+    t_end: float
+    ranks: list[RankBreakdown]
+    threads: list[ThreadBreakdown]
+    path: list[CriticalPathEntry]
+    events: list[Event]
+    nspans: int
+
+    @property
+    def rank_busy(self) -> list[float]:
+        return [r.busy_s for r in self.ranks]
+
+    @property
+    def rank_imbalance(self) -> float:
+        """max/mean busy seconds per rank (1.0 = perfectly balanced)."""
+        return _ratio_imbalance(self.rank_busy)
+
+    @property
+    def thread_imbalance(self) -> float:
+        """max/mean busy seconds per (rank, thread) lane."""
+        return _ratio_imbalance([t.busy_s for t in self.threads])
+
+    @property
+    def dlb_efficiency(self) -> float:
+        """mean/max busy per rank — the DLB's balancing efficiency."""
+        busy = self.rank_busy
+        mx = max(busy, default=0.0)
+        return (sum(busy) / len(busy)) / mx if busy and mx > 0 else 1.0
+
+    @property
+    def imbalance_loss_s(self) -> float:
+        """Parallel seconds lost to imbalance (max - mean busy)."""
+        busy = self.rank_busy
+        if not busy:
+            return 0.0
+        return max(busy) - sum(busy) / len(busy)
+
+    @property
+    def recovery_events(self) -> list[Event]:
+        """Fault / recovery / checkpoint events (the resilience overlay)."""
+        return [
+            ev
+            for ev in self.events
+            if ev.kind.startswith(("fault.", "scf.recovery", "scf.checkpoint",
+                                   "scf.restart")) or ev.kind == "dlb.rank_failed"
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (the machine-readable timeline verdict)."""
+        return {
+            "t_end_s": self.t_end,
+            "nspans": self.nspans,
+            "rank_imbalance": self.rank_imbalance,
+            "thread_imbalance": self.thread_imbalance,
+            "dlb_efficiency": self.dlb_efficiency,
+            "imbalance_loss_s": self.imbalance_loss_s,
+            "ranks": [
+                {
+                    "rank": r.rank,
+                    "busy_s": r.busy_s,
+                    "wait_s": r.wait_s,
+                    "idle_s": r.idle_s,
+                    "active_s": r.active_s,
+                    "spans": r.nspans,
+                }
+                for r in self.ranks
+            ],
+            "threads": [
+                {
+                    "rank": t.rank,
+                    "thread": t.thread,
+                    "busy_s": t.busy_s,
+                    "spans": t.nspans,
+                }
+                for t in self.threads
+            ],
+            "critical_path": [
+                {"span": p.name, "rank": p.rank, "total_s": p.total_s,
+                 "self_s": p.self_s}
+                for p in self.path
+            ],
+            "events": [
+                {"event": ev.kind, "t_s": ev.t, "rank": ev.rank,
+                 **{k: _json_safe(v) for k, v in ev.fields.items()}}
+                for ev in self.events
+            ],
+        }
+
+
+def _ratio_imbalance(values: Sequence[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        return 1.0
+    mean = sum(vals) / len(vals)
+    return max(vals) / mean if mean > 0 else 1.0
+
+
+def critical_path(spans: Sequence[TimelineSpan]) -> list[CriticalPathEntry]:
+    """The chain of longest-duration spans from the longest root down.
+
+    The parent/child structure is reconstructed from the recorded
+    depths and intervals (spans nest strictly in the simulated runtime),
+    so the extraction works identically on live tracers and NDJSON
+    dumps.
+    """
+    ordered = sorted(spans, key=lambda s: (s.start, s.depth))
+    children: dict[int, list[TimelineSpan]] = {}
+    last_at_depth: dict[tuple[int, int], TimelineSpan] = {}
+    last_at_depth_any: dict[int, TimelineSpan] = {}
+    roots: list[TimelineSpan] = []
+    for s in ordered:
+        # Ranks run concurrently, so several spans at depth-1 may contain
+        # this interval; prefer the same-rank candidate (its true parent
+        # in the original tree) over the most recent one from any rank.
+        parent = last_at_depth.get((s.depth - 1, s.rank))
+        if parent is None or parent.end < s.end or parent.start > s.start:
+            parent = last_at_depth_any.get(s.depth - 1)
+        if (
+            s.depth > 0
+            and parent is not None
+            and parent.start <= s.start
+            and parent.end >= s.end
+        ):
+            children.setdefault(id(parent), []).append(s)
+        else:
+            roots.append(s)
+        last_at_depth[(s.depth, s.rank)] = s
+        last_at_depth_any[s.depth] = s
+
+    path: list[CriticalPathEntry] = []
+    node = max(roots, key=lambda s: s.duration, default=None)
+    while node is not None:
+        kids = children.get(id(node), [])
+        self_s = node.duration - sum(c.duration for c in kids)
+        path.append(
+            CriticalPathEntry(
+                name=node.name,
+                rank=node.rank,
+                total_s=node.duration,
+                self_s=max(self_s, 0.0),
+            )
+        )
+        node = max(kids, key=lambda s: s.duration, default=None)
+    return path
+
+
+def analyze_timeline(
+    spans: Sequence[TimelineSpan],
+    events: Sequence[Event] = (),
+) -> TimelineAnalysis:
+    """Compute the full timeline analysis from flattened spans + events.
+
+    Spans and events must share a time base (they do when both come
+    from one traced run, live or via the NDJSON files the profile CLI
+    writes); timestamps are re-normalized to the earliest span start.
+    """
+    spans = list(spans)
+    events = list(events)
+    if spans:
+        t0 = min(s.start for s in spans)
+    elif events:
+        t0 = min(ev.t for ev in events)
+    else:
+        t0 = 0.0
+    spans = [
+        TimelineSpan(
+            name=s.name, start=s.start - t0, end=s.end - t0, depth=s.depth,
+            rank=s.rank, thread=s.thread, attrs=s.attrs,
+        )
+        for s in spans
+    ]
+    events = [
+        Event(kind=ev.kind, t=ev.t - t0, rank=ev.rank, fields=ev.fields)
+        for ev in events
+    ]
+    t_end = max((s.end for s in spans), default=0.0)
+
+    by_rank: dict[int, list[TimelineSpan]] = {}
+    for s in spans:
+        by_rank.setdefault(s.rank, []).append(s)
+
+    ranks: list[RankBreakdown] = []
+    for rank in sorted(by_rank):
+        rspans = by_rank[rank]
+        work = _merge_intervals(
+            (s.start, s.end) for s in rspans if s.category == "work"
+        )
+        wait = _merge_intervals(
+            (s.start, s.end) for s in rspans if s.category == "wait"
+        )
+        ranks.append(
+            RankBreakdown(
+                rank=rank,
+                busy_s=sum(hi - lo for lo, hi in work),
+                wait_s=sum(hi - lo for lo, hi in wait),
+                first=min(s.start for s in rspans),
+                last=max(s.end for s in rspans),
+                nspans=len(rspans),
+                work_intervals=work,
+                wait_intervals=wait,
+            )
+        )
+
+    lanes: dict[tuple[int, int], list[TimelineSpan]] = {}
+    for s in spans:
+        if s.name in THREAD_WORK_SPANS and s.thread is not None:
+            lanes.setdefault((s.rank, s.thread), []).append(s)
+    threads = [
+        ThreadBreakdown(
+            rank=rank,
+            thread=thread,
+            busy_s=_union_seconds((s.start, s.end) for s in lspans),
+            nspans=len(lspans),
+        )
+        for (rank, thread), lspans in sorted(lanes.items())
+    ]
+
+    return TimelineAnalysis(
+        t_end=t_end,
+        ranks=ranks,
+        threads=threads,
+        path=critical_path(spans),
+        events=events,
+        nspans=len(spans),
+    )
+
+
+def analyze_tracer(
+    tracer: Tracer, events: Iterable[Event] | None = None
+) -> TimelineAnalysis:
+    """:func:`analyze_timeline` straight from a live tracer + event log."""
+    return analyze_timeline(
+        timeline_spans(tracer), list(events) if events is not None else ()
+    )
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def ascii_gantt(analysis: TimelineAnalysis, *, width: int = 64) -> str:
+    """Per-rank ASCII Gantt: ``#`` busy, ``~`` wait, ``.`` idle.
+
+    Fault/recovery/checkpoint events are overlaid with single-character
+    markers (``K`` kill, ``C`` corrupt, ``R`` recovery stage, ``S``
+    checkpoint, ``D`` straggler delay) at their time bucket; run-global
+    events go on a separate ``events`` row.
+    """
+    t1 = analysis.t_end
+    if t1 <= 0 or not analysis.ranks:
+        return "(no timeline data)"
+
+    def col(t: float) -> int:
+        return min(max(int(t / t1 * width), 0), width - 1)
+
+    lines = [f"DLB Gantt — 1 column ≈ {t1 / width:.6f} s "
+             f"(# busy, ~ wait, . idle)"]
+    rows: dict[int, list[str]] = {}
+    for rb in analysis.ranks:
+        row = []
+        for c in range(width):
+            lo, hi = c * t1 / width, (c + 1) * t1 / width
+            if not (rb.first < hi and rb.last > lo):
+                row.append(" ")
+                continue
+            w = _overlap_seconds(rb.work_intervals, lo, hi)
+            v = _overlap_seconds(rb.wait_intervals, lo, hi)
+            row.append("#" if w >= v and w > 0 else "~" if v > 0 else ".")
+        rows[rb.rank] = row
+
+    global_row = [" "] * width
+    for ev in analysis.events:
+        marker = EVENT_MARKERS.get(ev.kind)
+        if marker is None:
+            continue
+        target = rows.get(ev.rank) if ev.rank is not None else None
+        (target if target is not None else global_row)[col(ev.t)] = marker
+
+    for rank in sorted(rows):
+        lines.append(f"rank {rank:>3d} |{''.join(rows[rank])}|")
+    if any(ch != " " for ch in global_row):
+        lines.append(f"events   |{''.join(global_row)}|")
+    return "\n".join(lines)
+
+
+def timeline_report(
+    analysis: TimelineAnalysis, *, title: str = "timeline"
+) -> str:
+    """Human-readable timeline analysis (the ``--timeline`` report)."""
+    lines = [
+        f"{title} — {analysis.nspans} spans over {analysis.t_end:.6f} s",
+        "",
+        "per-rank breakdown (busy = quartets/diag, wait = flush/reduce):",
+        f"{'rank':>6s} {'busy(s)':>10s} {'wait(s)':>10s} {'idle(s)':>10s} "
+        f"{'busy%':>7s} {'spans':>7s}",
+    ]
+    for r in analysis.ranks:
+        lines.append(
+            f"{r.rank:>6d} {r.busy_s:>10.6f} {r.wait_s:>10.6f} "
+            f"{r.idle_s:>10.6f} {100 * r.busy_fraction:>6.1f}% "
+            f"{r.nspans:>7d}"
+        )
+    lines += [
+        "",
+        "load-imbalance decomposition:",
+        f"  rank imbalance (max/mean busy) : {analysis.rank_imbalance:.3f}",
+        f"  DLB efficiency (mean/max busy) : "
+        f"{100 * analysis.dlb_efficiency:.1f}%",
+        f"  imbalance loss                 : "
+        f"{analysis.imbalance_loss_s:.6f} s",
+        f"  thread imbalance (max/mean)    : {analysis.thread_imbalance:.3f}",
+    ]
+    if analysis.threads:
+        lines += [
+            "",
+            "per-thread busy time (OpenMP lanes):",
+            f"{'rank':>6s} {'thread':>7s} {'busy(s)':>10s} {'spans':>7s}",
+        ]
+        for t in analysis.threads:
+            lines.append(
+                f"{t.rank:>6d} {t.thread:>7d} {t.busy_s:>10.6f} "
+                f"{t.nspans:>7d}"
+            )
+    if analysis.path:
+        lines += ["", "critical path (longest span chain):"]
+        for depth, p in enumerate(analysis.path):
+            label = "  " * depth + p.name
+            lines.append(
+                f"  {label:<40s} rank {p.rank} "
+                f"total {p.total_s:>10.6f} s  self {p.self_s:>10.6f} s"
+            )
+    lines += ["", ascii_gantt(analysis)]
+    recov = analysis.recovery_events
+    if recov:
+        lines += ["", f"resilience events ({len(recov)}):"]
+        for ev in recov:
+            where = "global" if ev.rank is None else f"rank {ev.rank}"
+            detail = " ".join(f"{k}={_json_safe(v)}" for k, v in ev.fields.items())
+            lines.append(
+                f"  t={ev.t:>10.6f}s {where:<8s} {ev.kind:<24s} {detail}"
+            )
+    return "\n".join(lines)
+
+
+# -- merged Chrome traces ----------------------------------------------------
+
+#: pid stride between runs in a merged trace (ranks per run < stride).
+_PID_STRIDE = 1000
+
+
+def chrome_events_from_spans(
+    spans: Sequence[TimelineSpan], *, pid_offset: int = 0
+) -> list[dict[str, Any]]:
+    """Chrome ``"ph": "X"`` events from flattened spans (NDJSON-sourced)."""
+    if not spans:
+        return []
+    t0 = min(s.start for s in spans)
+    events = []
+    for s in spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split("/", 1)[0],
+                "ph": "X",
+                "ts": (s.start - t0) * _MICRO,
+                "dur": s.duration * _MICRO,
+                "pid": pid_offset + s.rank,
+                "tid": s.thread or 0,
+                "args": {k: _json_safe(v) for k, v in s.attrs.items()},
+            }
+        )
+    return events
+
+
+def merged_chrome_trace(
+    runs: Sequence[tuple[str, Sequence[TimelineSpan], Sequence[Event]]],
+) -> dict[str, Any]:
+    """Merge several runs into one Chrome trace document.
+
+    ``runs`` is a sequence of ``(label, spans, events)`` triples; each
+    run's ranks are placed on their own pid block (``run_index * 1000 +
+    rank``) with the process tracks named ``"<label> rank <r>"``, so
+    e.g. all three Fock algorithms can be inspected side by side in a
+    single Perfetto tab.
+    """
+    from repro.obs.export import event_instants
+
+    all_events: list[dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
+    for idx, (label, spans, events) in enumerate(runs):
+        offset = idx * _PID_STRIDE
+        span_events = chrome_events_from_spans(spans, pid_offset=offset)
+        all_events += span_events
+        if events:
+            t0 = min((s.start for s in spans), default=min(ev.t for ev in events))
+            all_events += event_instants(events, t0, pid_offset=offset)
+        for pid in sorted({e["pid"] for e in span_events}):
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{label} rank {pid - offset}"},
+                }
+            )
+    return {
+        "traceEvents": meta + all_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.analysis"},
+    }

@@ -1,0 +1,164 @@
+"""Structured run-event log: NDJSON-able discrete events with rank context.
+
+Spans (:mod:`repro.obs.tracer`) answer *where the time went*; the event
+log answers *what happened* — discrete, timestamped occurrences with a
+rank context that the timeline analyzer overlays on the span Gantt:
+
+* ``scf.cycle`` / ``scf.converged`` / ``scf.restart`` — SCF progress;
+* ``scf.checkpoint`` — checkpoint writes (cycle, path);
+* ``dlb.reset`` / ``dlb.rank_done`` / ``dlb.rank_failed`` — the
+  dynamic-load-balance counter's lifecycle;
+* ``fault.kill`` / ``fault.delay`` / ``fault.corrupt`` /
+  ``fault.corrupt_rejected`` — injected faults and their recovery
+  (:mod:`repro.resilience`), which is what makes a faulted run's
+  timeline show *when* a rank died and *who* picked up its work;
+* ``scf.recovery`` — convergence-guard stage escalations.
+
+Like the tracer and the metrics registry, the log is installed globally
+(:func:`use_event_log`) and defaults to *off*: instrumented code pays
+one ``get_event_log()`` call and an ``is None`` test per event.
+
+Timestamps come from the same ``time.perf_counter`` clock the tracer
+uses, so events and spans share a time base and the exporters can place
+events on the span timeline exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """One discrete run event.
+
+    Attributes
+    ----------
+    kind:
+        Dotted event name (``"fault.kill"``, ``"scf.cycle"``, ...).
+    t:
+        Clock reading at emission (absolute; the exporters normalize).
+    rank:
+        Simulated MPI rank context, or ``None`` for run-global events.
+    fields:
+        Arbitrary JSON-able payload (cycle, factor, payload, ...).
+    """
+
+    kind: str
+    t: float
+    rank: int | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only recorder of :class:`Event` records.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic second counter; :func:`time.perf_counter` by default
+        (the tracer's clock, so spans and events line up).
+    """
+
+    def __init__(
+        self, *, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.clock = clock
+        self.events: list[Event] = []
+
+    def emit(self, kind: str, *, rank: int | None = None, **fields: Any) -> Event:
+        """Record an event now; returns the stored record."""
+        ev = Event(kind=kind, t=self.clock(), rank=rank, fields=fields)
+        self.events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind (diagnostics/tests)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def events_ndjson(log: EventLog, *, t0: float | None = None) -> str:
+    """One JSON line per event, timestamps relative to ``t0``.
+
+    ``t0`` defaults to the first event's clock reading; the profile CLI
+    passes the traced run's earliest span start so events land on the
+    same relative axis as ``spans_ndjson``.
+    """
+    if t0 is None:
+        t0 = log.events[0].t if log.events else 0.0
+    lines = []
+    for ev in log.events:
+        rec: dict[str, Any] = {
+            "event": ev.kind,
+            "t_s": ev.t - t0,
+            "rank": ev.rank,
+        }
+        rec.update({k: _json_safe(v) for k, v in ev.fields.items()})
+        lines.append(json.dumps(rec))
+    return "\n".join(lines)
+
+
+def events_from_ndjson(text: str) -> list[Event]:
+    """Parse :func:`events_ndjson` output back into :class:`Event` records.
+
+    Parsed timestamps are the file's (already relative) ``t_s`` values.
+    """
+    events: list[Event] = []
+    for line in filter(None, (ln.strip() for ln in text.splitlines())):
+        rec = json.loads(line)
+        events.append(
+            Event(
+                kind=rec.pop("event"),
+                t=float(rec.pop("t_s", 0.0)),
+                rank=rec.pop("rank", None),
+                fields=rec,
+            )
+        )
+    return events
+
+
+_current_log: EventLog | None = None
+
+
+def get_event_log() -> EventLog | None:
+    """The globally installed event log, or ``None`` (logging off)."""
+    return _current_log
+
+
+def set_event_log(log: EventLog | None) -> None:
+    """Install a global event log; ``None`` disables event capture."""
+    global _current_log
+    _current_log = log
+
+
+@contextmanager
+def use_event_log(log: EventLog) -> Iterator[EventLog]:
+    """Install ``log`` for the duration of a ``with`` block."""
+    previous = _current_log
+    set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)

@@ -18,12 +18,25 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
+from repro.obs.events import Event, EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
 _MICRO = 1e6
+
+
+def write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path``, creating parent directories first.
+
+    The common exit of every exporter: a trailing newline is ensured so
+    NDJSON files concatenate cleanly.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text if text.endswith("\n") or not text else text + "\n")
+    return path
 
 
 def _json_safe(value: Any) -> Any:
@@ -85,20 +98,66 @@ def chrome_trace_events(tracer: Tracer) -> list[dict[str, Any]]:
     return meta + events
 
 
-def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
-    """The complete Chrome trace document for a traced run."""
+def event_instants(
+    events: Iterable[Event], t0: float, *, pid_offset: int = 0
+) -> list[dict[str, Any]]:
+    """Chrome *instant* events (``"ph": "i"``) for an event-log overlay.
+
+    Each event lands on its rank's process track (run-global events on
+    pid 0) at its timestamp relative to ``t0`` — which is how a faulted
+    run's kill/recovery/checkpoint moments show up inside the span
+    Gantt in ``chrome://tracing``.
+    """
+    out: list[dict[str, Any]] = []
+    for ev in events:
+        out.append(
+            {
+                "name": ev.kind,
+                "cat": ev.kind.split(".", 1)[0],
+                "ph": "i",
+                "ts": (ev.t - t0) * _MICRO,
+                "pid": pid_offset + int(ev.rank or 0),
+                "tid": 0,
+                "s": "g" if ev.rank is None else "p",
+                "args": {k: _json_safe(v) for k, v in ev.fields.items()},
+            }
+        )
+    return out
+
+
+def to_chrome_trace(
+    tracer: Tracer, *, events: EventLog | Iterable[Event] | None = None
+) -> dict[str, Any]:
+    """The complete Chrome trace document for a traced run.
+
+    With ``events``, the event log is overlaid as instant events on the
+    same time base (the earliest span start; with no spans, the first
+    event's timestamp).
+    """
+    trace_events = chrome_trace_events(tracer)
+    event_list = list(events) if events is not None else []
+    if event_list:
+        starts = [s.start for s in tracer.walk() if s.end is not None]
+        t0 = min(starts) if starts else min(ev.t for ev in event_list)
+        trace_events += event_instants(event_list, t0)
     return {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": trace_events,
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs"},
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
-    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(tracer)) + "\n")
-    return path
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str | Path,
+    *,
+    events: EventLog | Iterable[Event] | None = None,
+) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path.
+
+    Parent directories are created as needed.
+    """
+    return write_text(path, json.dumps(to_chrome_trace(tracer, events=events)))
 
 
 # -- text profile ------------------------------------------------------------
@@ -149,6 +208,9 @@ def profile_report(tracer: Tracer, *, title: str = "profile") -> str:
         f"{'span':<44s} {'calls':>7s} {'total(s)':>10s} "
         f"{'self(s)':>10s} {'%total':>7s}",
     ]
+    if not root.children:
+        lines.append("(no completed spans)")
+        return "\n".join(lines)
 
     def emit(node: _ProfileNode, depth: int) -> None:
         pct = 100.0 * node.total / total if total > 0 else 0.0
@@ -195,3 +257,13 @@ def spans_ndjson(tracer: Tracer) -> str:
 def metrics_ndjson(registry: MetricsRegistry) -> str:
     """One JSON line per metric in the registry, key-sorted."""
     return "\n".join(json.dumps(rec) for rec in registry.records())
+
+
+def write_spans_ndjson(tracer: Tracer, path: str | Path) -> Path:
+    """Write :func:`spans_ndjson` to ``path`` (parent dirs created)."""
+    return write_text(path, spans_ndjson(tracer))
+
+
+def write_metrics_ndjson(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`metrics_ndjson` to ``path`` (parent dirs created)."""
+    return write_text(path, metrics_ndjson(registry))

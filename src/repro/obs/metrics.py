@@ -13,6 +13,7 @@ the DLB, DDI, reduction, and perfsim layers.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -59,10 +60,16 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary (count/sum/min/max)."""
+    """Streaming distribution summary (count/sum/min/max/mean/std).
+
+    The mean and variance are maintained with Welford's online update,
+    so the spread is available without storing the observations — the
+    imbalance metrics report standard deviation, not just min/max.
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "count", "total", "min", "max")
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_mean", "_m2")
 
     def __init__(self, name: str, labels: LabelKey) -> None:
         self.name = name
@@ -71,6 +78,8 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._mean = 0.0
+        self._m2 = 0.0
 
     def observe(self, value: int | float) -> None:
         v = float(value)
@@ -78,10 +87,23 @@ class Histogram:
         self.total += v
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+        delta = v - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (v - self._mean)
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations (0.0 when empty)."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observations."""
+        return math.sqrt(max(self.variance, 0.0))
 
     def snapshot(self) -> dict[str, float | int | None]:
         return {
@@ -90,6 +112,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "std": self.std,
         }
 
 
@@ -172,20 +195,23 @@ class MetricsRegistry:
         """Flat ``{"name{label=v}": value}`` view, key-sorted.
 
         Deterministic for deterministic instrumentation — the test
-        suite diffs snapshots across repeated runs.
+        suite diffs snapshots across repeated runs.  Sorting is on the
+        *formatted* key string: raw label tuples are not orderable when
+        label values mix types (``rank=3`` vs ``rank="io"``).
         """
         return {
             _format_key(m.name, m.labels): m.snapshot()
             for m in sorted(
                 self._metrics.values(),
-                key=lambda m: (m.name, m.labels),
+                key=lambda m: _format_key(m.name, m.labels),
             )
         }
 
     def records(self) -> Iterator[dict[str, Any]]:
         """One JSON-ready record per metric (the NDJSON export unit)."""
         for m in sorted(
-            self._metrics.values(), key=lambda m: (m.name, m.labels)
+            self._metrics.values(),
+            key=lambda m: _format_key(m.name, m.labels),
         ):
             yield {
                 "metric": m.name,

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.events import get_event_log
 from repro.obs.metrics import get_metrics
 from repro.parallel.dlb import DynamicLoadBalancer
 
@@ -301,6 +302,9 @@ class DDIRuntime:
                         registry.counter(
                             "resilience.corrupt_contributions"
                         ).inc()
+                    log = get_event_log()
+                    if log is not None:
+                        log.emit("fault.corrupt_rejected", rank=rank)
                     raise CorruptContributionError(
                         f"gsumf contribution from rank {rank} contains "
                         f"{int(np.sum(~np.isfinite(b)))} non-finite "

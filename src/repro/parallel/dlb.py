@@ -27,6 +27,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.obs.events import get_event_log
 from repro.obs.metrics import get_metrics
 
 _POLICIES = ("round_robin", "block", "cost_greedy")
@@ -67,6 +68,10 @@ class DynamicLoadBalancer:
         self._queues: list[list[int]] = [[] for _ in range(nranks)]
         self._cursor = [0] * nranks
         self._dead: set[int] = set()
+        self._done_logged: set[int] = set()
+        log = get_event_log()
+        if log is not None:
+            log.emit("dlb.reset", ntasks=ntasks, nranks=nranks, policy=policy)
 
         if policy == "round_robin":
             for t in range(ntasks):
@@ -103,6 +108,11 @@ class DynamicLoadBalancer:
         cur = self._cursor[rank]
         queue = self._queues[rank]
         if cur >= len(queue):
+            if rank not in self._done_logged:
+                self._done_logged.add(rank)
+                log = get_event_log()
+                if log is not None:
+                    log.emit("dlb.rank_done", rank=rank, grants=cur)
             return None
         self._cursor[rank] = cur + 1
         registry = get_metrics()
@@ -122,6 +132,7 @@ class DynamicLoadBalancer:
     def reset(self) -> None:
         """Rewind all rank cursors (grants are unchanged; dead ranks stay dead)."""
         self._cursor = [0] * self.nranks
+        self._done_logged.clear()
 
     # -- fault hooks --------------------------------------------------------
 
@@ -154,6 +165,12 @@ class DynamicLoadBalancer:
         if registry is not None:
             registry.counter("dlb.rank_failures").inc()
             registry.counter("dlb.tasks_withdrawn").inc(len(tasks))
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "dlb.rank_failed", rank=rank,
+                withdrawn=len(tasks), requeued=requeue,
+            )
         if requeue and tasks:
             survivors = [r for r in range(self.nranks) if r not in self._dead]
             if not survivors:

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.events import get_event_log
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.resilience.errors import CheckpointError
@@ -215,5 +216,10 @@ class CheckpointManager:
             registry.counter("resilience.checkpoints_written").inc()
             registry.gauge("resilience.last_checkpoint_cycle").set(
                 checkpoint.cycle
+            )
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "scf.checkpoint", cycle=checkpoint.cycle, path=str(self.path)
             )
         return True

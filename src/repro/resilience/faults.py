@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
+from repro.obs.events import get_event_log
 from repro.obs.metrics import get_metrics
 from repro.resilience.errors import FaultSpecError, RankLostError
 
@@ -321,7 +322,10 @@ def resilient_grants(
     if plan is None:
         yield from dlb.iter_rank(rank)
         return
-    plan.delay_factor(rank, cycle)  # stragglers: metered, results unchanged
+    factor = plan.delay_factor(rank, cycle)  # metered, results unchanged
+    log = get_event_log()
+    if factor > 1.0 and log is not None:
+        log.emit("fault.delay", rank=rank, cycle=cycle, factor=factor)
     kill_after = plan.kill_after(rank, cycle)
     done = 0
     while (task := dlb.next(rank)) is not None:
@@ -338,6 +342,11 @@ def resilient_grants(
                 registry.counter("resilience.rank_failures").inc()
                 registry.counter("resilience.tasks_requeued").inc(
                     len(requeued)
+                )
+            if log is not None:
+                log.emit(
+                    "fault.kill", rank=rank, cycle=cycle,
+                    requeued=len(requeued), survivors=len(survivors),
                 )
             for idx, t in enumerate(requeued):
                 claimant = survivors[idx % len(survivors)]

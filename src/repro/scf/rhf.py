@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
+from repro.obs.events import get_event_log
 from repro.obs.tracer import get_tracer
 from repro.resilience.checkpoint import (
     CheckpointManager,
@@ -243,6 +244,9 @@ class RHF:
                 SCFIteration(c, en, dr, de) for c, en, dr, de in ck.history_rows()
             ]
             start_cycle = ck.cycle + 1
+            log = get_event_log()
+            if log is not None:
+                log.emit("scf.restart", cycle=start_cycle, energy=ck.energy)
         else:
             D = (
                 initial_density.copy()
@@ -322,6 +326,12 @@ class RHF:
                 history.append(
                     SCFIteration(it, e_elec + self.enuc, d_rms, de, stats)
                 )
+                log = get_event_log()
+                if log is not None:
+                    log.emit(
+                        "scf.cycle", cycle=it, energy=e_elec + self.enuc,
+                        d_rms=d_rms, de=de,
+                    )
 
                 D = D_new
                 e_old = e_elec
@@ -334,6 +344,10 @@ class RHF:
                 if guard is not None:
                     action = guard.observe(it, e_elec + self.enuc, d_rms)
                     if action is not None:
+                        if log is not None:
+                            log.emit(
+                                "scf.recovery", cycle=it, stage=action.stage
+                            )
                         with tracer.span(
                             "scf/recovery", stage=action.stage, iteration=it
                         ):
@@ -351,6 +365,11 @@ class RHF:
                         )
             if self.criteria.converged(d_rms, de) and it > 1:
                 converged = True
+                log = get_event_log()
+                if log is not None:
+                    log.emit(
+                        "scf.converged", cycle=it, energy=e_old + self.enuc
+                    )
                 break
 
         if not converged and strict:

@@ -150,3 +150,106 @@ def test_fault_plan_malformed_spec_rejected(water_xyz, capsys):
 def test_invalid_numeric_flags_rejected(water_xyz, argv):
     with pytest.raises(SystemExit):
         main(["scf", str(water_xyz), *argv])
+
+
+# -- profile / timeline / compare ---------------------------------------------
+
+
+def test_profile_writes_all_artifacts(tmp_path, capsys):
+    out_dir = tmp_path / "prof"
+    rc = main(["profile", "--algorithm", "shared-fock",
+               "--ranks", "2", "--threads", "2",
+               "--output-dir", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-74.9420799" in out
+    for name in ("trace.json", "profile.txt", "metrics.ndjson",
+                 "spans.ndjson", "events.ndjson"):
+        assert (out_dir / name).exists(), name
+    # Without --timeline, no timeline report is produced.
+    assert not (out_dir / "timeline.txt").exists()
+    # The event log captured SCF progress with relative timestamps.
+    import json
+
+    events = [json.loads(ln)
+              for ln in (out_dir / "events.ndjson").read_text().splitlines()]
+    kinds = {e["event"] for e in events}
+    assert {"dlb.reset", "scf.cycle", "scf.converged"} <= kinds
+
+
+@pytest.mark.parametrize("algorithm", ["mpi-only", "private-fock",
+                                       "shared-fock"])
+def test_profile_timeline_all_algorithms(algorithm, tmp_path, capsys):
+    out_dir = tmp_path / "prof"
+    rc = main(["profile", "--algorithm", algorithm,
+               "--ranks", "2", "--threads", "2",
+               "--output-dir", str(out_dir), "--timeline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "per-rank breakdown" in out
+    assert "DLB efficiency" in out
+    assert "DLB Gantt" in out
+    assert (out_dir / "timeline.txt").exists()
+    import json
+
+    doc = json.loads((out_dir / "timeline.json").read_text())
+    assert [r["rank"] for r in doc["ranks"]] == [0, 1]
+    assert doc["rank_imbalance"] >= 1.0
+    for r in doc["ranks"]:
+        assert r["busy_s"] > 0
+
+
+def test_profile_timeline_faulted_run_shows_recovery(tmp_path, capsys):
+    out_dir = tmp_path / "prof"
+    rc = main(["profile", "--algorithm", "shared-fock",
+               "--ranks", "4", "--threads", "2",
+               "--fault-plan",
+               "kill:rank=1:cycle=2:after=1;corrupt:rank=0:cycle=3:payload=inf",
+               "--scf-recovery",
+               "--output-dir", str(out_dir), "--timeline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-74.9420799" in out                  # bitwise-identical recovery
+    assert "resilience events" in out
+    assert "fault.kill" in out and "fault.corrupt" in out
+    # The kill marker lands on the failed rank's Gantt row.
+    gantt_rows = [ln for ln in out.splitlines() if ln.startswith("rank ")]
+    rank1 = next(ln for ln in gantt_rows if ln.startswith("rank   1"))
+    assert "K" in rank1
+
+
+def test_timeline_command_merges_runs(tmp_path, capsys):
+    for alg in ("mpi-only", "shared-fock"):
+        rc = main(["profile", "--algorithm", alg, "--ranks", "2",
+                   "--threads", "2", "--output-dir", str(tmp_path / alg)])
+        assert rc == 0
+    capsys.readouterr()  # drop profile output
+    merged = tmp_path / "merged.json"
+    report = tmp_path / "timeline.txt"
+    rc = main(["timeline",
+               str(tmp_path / "mpi-only" / "spans.ndjson"),
+               str(tmp_path / "shared-fock" / "spans.ndjson"),
+               "--events", str(tmp_path / "mpi-only" / "events.ndjson"),
+               "--events", str(tmp_path / "shared-fock" / "events.ndjson"),
+               "--labels", "mpi,shared",
+               "--merged-trace", str(merged), "--report", str(report)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "timeline (mpi)" in out and "timeline (shared)" in out
+    import json
+
+    doc = json.loads(merged.read_text())
+    pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert {0, 1} <= pids and {1000, 1001} <= pids
+    names = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert "mpi rank 0" in names and "shared rank 1" in names
+    assert "per-rank breakdown" in report.read_text()
+
+
+def test_timeline_command_count_mismatch(tmp_path, capsys):
+    spans = tmp_path / "spans.ndjson"
+    spans.write_text("")
+    rc = main(["timeline", str(spans), "--events", str(spans),
+               "--events", str(spans)])
+    assert rc == 2
+    assert "counts must match" in capsys.readouterr().err

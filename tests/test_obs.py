@@ -214,3 +214,123 @@ def test_metrics_ndjson_roundtrip():
         "metric": "a", "kind": "counter", "labels": {"rank": 0}, "value": 2,
     }
     assert recs[1]["value"]["count"] == 1
+
+
+# -- satellite edge cases ----------------------------------------------------
+
+
+def test_snapshot_sorts_mixed_type_label_values():
+    reg = MetricsRegistry()
+    reg.counter("dlb.grants", rank=3).inc()
+    reg.counter("dlb.grants", rank="io").inc(2)  # str vs int label values
+    snap = reg.snapshot()  # must not raise TypeError
+    assert list(snap) == ["dlb.grants{rank=3}", "dlb.grants{rank=io}"]
+    recs = list(reg.records())
+    assert [r["labels"] for r in recs] == [{"rank": 3}, {"rank": "io"}]
+
+
+def test_histogram_welford_std():
+    reg = MetricsRegistry()
+    h = reg.histogram("h")
+    for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        h.observe(v)
+    assert h.mean == pytest.approx(5.0)
+    assert h.variance == pytest.approx(4.0)  # textbook population variance
+    assert h.std == pytest.approx(2.0)
+    snap = h.snapshot()
+    assert snap["std"] == pytest.approx(2.0)
+    assert snap["mean"] == pytest.approx(5.0)
+
+
+def test_histogram_std_empty_and_single():
+    reg = MetricsRegistry()
+    h = reg.histogram("h")
+    assert h.mean == 0.0 and h.variance == 0.0 and h.std == 0.0
+    h.observe(3.5)
+    assert h.mean == pytest.approx(3.5)
+    assert h.std == 0.0
+
+
+def test_histogram_welford_matches_two_pass():
+    import math
+
+    values = [1e9 + i * 0.1 for i in range(100)]  # large offset stresses
+    reg = MetricsRegistry()
+    h = reg.histogram("h")
+    for v in values:
+        h.observe(v)
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    assert h.mean == pytest.approx(mean)
+    assert h.std == pytest.approx(math.sqrt(var), rel=1e-6)
+
+
+def test_write_chrome_trace_creates_parent_dirs(tmp_path, traced):
+    from repro.obs import write_chrome_trace
+
+    path = tmp_path / "deep" / "nested" / "trace.json"
+    out = write_chrome_trace(traced, path)
+    assert out == path and path.exists()
+    doc = json.loads(path.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_write_ndjson_exporters_create_parent_dirs(tmp_path, traced):
+    from repro.obs import write_metrics_ndjson, write_spans_ndjson
+
+    spans_path = write_spans_ndjson(traced, tmp_path / "a" / "spans.ndjson")
+    assert spans_path.exists()
+    assert spans_path.read_text().endswith("\n")
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    metrics_path = write_metrics_ndjson(reg, tmp_path / "b" / "m.ndjson")
+    assert json.loads(metrics_path.read_text())["metric"] == "c"
+
+
+def test_profile_report_zero_traced_total():
+    report = profile_report(Tracer(), title="empty")
+    assert "traced total 0.000000 s" in report
+    assert "(no completed spans)" in report
+    # No ZeroDivisionError, and the header row is still present.
+    assert "span" in report.splitlines()[1]
+
+
+def test_open_spans_are_excluded_from_exports():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("done"):
+        pass
+    ctx = tracer.span("still-open")
+    ctx.__enter__()  # never closed
+    assert [e["name"] for e in chrome_trace_events(tracer)
+            if e["ph"] == "X"] == ["done"]
+    recs = [json.loads(ln) for ln in spans_ndjson(tracer).splitlines()]
+    assert [r["span"] for r in recs] == ["done"]
+
+
+def test_chrome_trace_mixed_type_attrs_json_safe():
+    from pathlib import PurePosixPath
+
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("s", path=PurePosixPath("/x/y"), n=3, flag=True):
+        pass
+    doc = to_chrome_trace(tracer)
+    args = next(e for e in doc["traceEvents"] if e["ph"] == "X")["args"]
+    assert args == {"path": "/x/y", "n": 3, "flag": True}
+    json.dumps(doc)  # round-trippable
+
+
+def test_chrome_trace_event_overlay():
+    from repro.obs import EventLog, to_chrome_trace
+
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    log = EventLog(clock=clock)  # shared clock = shared time base
+    with tracer.span("scf/run", rank=0):
+        log.emit("fault.kill", rank=1, cycle=2)
+    doc = to_chrome_trace(tracer, events=log)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    inst = instants[0]
+    assert inst["name"] == "fault.kill" and inst["pid"] == 1
+    assert inst["s"] == "p"  # rank-scoped
+    assert inst["ts"] == pytest.approx(1e6)  # 1 tick after span start
