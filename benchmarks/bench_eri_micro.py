@@ -18,6 +18,11 @@ Emits a machine-readable ``BENCH_eri.json`` record::
 Run directly (``python benchmarks/bench_eri_micro.py``) or via the CI
 benchmark smoke step, which uploads the JSON as an artifact so the
 repository's performance trajectory has data points.
+
+``--backend process`` switches to the execution-backend benchmark: one
+shared-fock Fock build on ``bilayer_graphene(2)``/STO-3G, sim runtime
+vs. ``--workers`` real worker processes, emitting ``BENCH_backend.json``
+(structural parity keys gated in CI; wall-clock keys ignored).
 """
 
 from __future__ import annotations
@@ -128,22 +133,130 @@ def run(output: Path, repeats: int = 3) -> dict:
     return record
 
 
+def run_backend(output: Path, workers: int = 4, repeats: int = 3) -> dict:
+    """Sim vs. process-backend Fock-build micro-benchmark.
+
+    One shared-fock Fock build on the small bilayer-graphene patch
+    (``bilayer_graphene(2)``/STO-3G), best of ``repeats``: once on the
+    deterministic single-process sim runtime, once on ``workers`` real
+    worker processes.  Emits ``BENCH_backend.json`` with the structural
+    contract keys (quartet counts, parity delta) `repro compare` gates
+    on, plus machine-dependent wall/speedup keys the gate ignores.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.chem.basis import BasisSet
+    from repro.chem.graphene import bilayer_graphene
+    from repro.core.scf_driver import make_fock_builder
+    from repro.integrals.onee import core_hamiltonian
+    from repro.parallel.backend import make_backend
+
+    basis = BasisSet(bilayer_graphene(2), "sto-3g")
+    hcore = core_hamiltonian(basis)
+    rng = np.random.default_rng(7)
+    density = rng.standard_normal((basis.nbf, basis.nbf)) * 0.1
+    density = density + density.T
+    geometry = dict(nranks=workers, nthreads=1)
+
+    def best_of(builder):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            F, stats = builder(density)
+            best = min(best, time.perf_counter() - t0)
+            result = (F, stats)
+        return best, result
+
+    sim_builder = make_fock_builder("shared-fock", basis, hcore, **geometry)
+    sim_s, (F_sim, sim_stats) = best_of(sim_builder)
+
+    inner = make_fock_builder("shared-fock", basis, hcore, **geometry)
+    with make_backend("process", workers=workers) as backend:
+        proc_s, (F_proc, proc_stats) = best_of(backend.wrap_builder(inner))
+
+    delta = float(np.max(np.abs(F_proc - F_sim)))
+    record = {
+        "name": "bench_backend_micro",
+        "fixture": "bilayer_graphene(2)/sto-3g",
+        "nshells": basis.nshells,
+        "nbf": basis.nbf,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "quartets_computed": sim_stats.quartets_computed,
+        "process_quartets_computed": proc_stats.quartets_computed,
+        "max_abs_fock_delta": delta,
+        "parity_ok": delta <= 1.0e-12,
+        "sim_build_wall_s": sim_s,
+        "process_build_wall_s": proc_s,
+        "speedup_process": sim_s / proc_s if proc_s > 0 else None,
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def _default_output(backend: str) -> Path:
+    name = "BENCH_backend.json" if backend == "process" else "BENCH_eri.json"
+    return Path(__file__).parent / "results" / name
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output", type=Path,
-        default=Path(__file__).parent / "results" / "BENCH_eri.json",
-    )
+    parser.add_argument("--output", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--backend", choices=("kernel", "process"), default="kernel",
+        help="'kernel' (default) benchmarks the ERI hot path; 'process' "
+             "benchmarks one Fock build on the real-process execution "
+             "backend against the single-process sim runtime and emits "
+             "BENCH_backend.json",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker process count for --backend process (default: 4)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
-        help="fail (exit 1) unless the batched path is >= 2x the scalar "
-             "path, exactly one Boys call per quartet was recorded, and "
-             "the cycle-2 cache hit rate is 100%%",
+        help="kernel mode: fail (exit 1) unless the batched path is >= 2x "
+             "the scalar path, exactly one Boys call per quartet was "
+             "recorded, and the cycle-2 cache hit rate is 100%%. process "
+             "mode: fail unless sim<->process parity holds, plus — only "
+             "on machines with >= 2 CPUs — a >= 1.5x speedup at 4+ workers",
     )
     args = parser.parse_args(argv)
+    output = args.output or _default_output(args.backend)
 
-    record = run(args.output, repeats=args.repeats)
+    if args.backend == "process":
+        import os
+
+        record = run_backend(output, workers=args.workers, repeats=args.repeats)
+        print(f"fixture                : {record['fixture']}")
+        print(f"workers                : {record['workers']} "
+              f"(host cpus: {record['cpu_count']})")
+        print(f"sim build              : {record['sim_build_wall_s'] * 1e3:.1f} ms")
+        print(f"process build          : {record['process_build_wall_s'] * 1e3:.1f} ms")
+        print(f"speedup (process)      : {record['speedup_process']:.2f}x")
+        print(f"max |F_proc - F_sim|   : {record['max_abs_fock_delta']:.3e}")
+        print(f"wrote {output}")
+        if args.check:
+            ok = record["parity_ok"] and (
+                record["quartets_computed"]
+                == record["process_quartets_computed"]
+            )
+            # The scaling gate only means something with real cores to
+            # scale onto; single-CPU hosts measure pure overhead.
+            if (record["cpu_count"] or 1) >= 2 and record["workers"] >= 4:
+                ok = ok and record["speedup_process"] >= 1.5
+            else:
+                print("(cpu_count < 2: speedup gate skipped)")
+            if not ok:
+                print("CHECK FAILED", file=sys.stderr)
+                return 1
+        return 0
+
+    record = run(output, repeats=args.repeats)
     print(f"fixture                : {record['fixture']}")
     print(f"surviving quartets     : {record['quartets']}")
     print(f"scalar                 : {record['scalar_quartets_per_s']:.1f} quartets/s")
@@ -152,7 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup (batched)      : {record['speedup']:.2f}x")
     print(f"boys calls / quartet   : {record['boys_calls_per_quartet']:.3f}")
     print(f"cycle-2 cache hit rate : {100 * record['cache_hit_rate_cycle2']:.1f}%")
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
 
     if args.check:
         ok = (

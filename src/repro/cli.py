@@ -27,6 +27,7 @@ import sys
 from pathlib import Path
 
 ALGORITHMS = ("mpi-only", "private-fock", "shared-fock")
+BACKENDS = ("sim", "process")
 DATASETS = ("0.5nm", "1.0nm", "1.5nm", "2.0nm", "5.0nm")
 TARGETS = (
     "table2", "table3", "table4",
@@ -114,13 +115,60 @@ def _add_resilience_args(
         )
 
 
-def _fault_plan(args: argparse.Namespace):
+def _add_backend_args(sub: argparse.ArgumentParser) -> None:
+    """Execution-backend knobs shared by ``scf`` and ``profile``."""
+    sub.add_argument(
+        "--backend", choices=BACKENDS, default="sim",
+        help="execution backend: 'sim' runs ranks on the deterministic "
+             "in-process cooperative runtime (default); 'process' runs "
+             "the same rank programs on real OS worker processes with "
+             "shared-memory matrices and a lock-backed DLB counter",
+    )
+    sub.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="process-backend worker count (default: --ranks); must be "
+             ">= 1 — ignored (with a warning) by the sim backend",
+    )
+    sub.add_argument(
+        "--schedule-seed", type=int, default=None, metavar="SEED",
+        help="process-backend scheduling-jitter seed: perturbs DLB "
+             "claim arrival order for nondeterminism hunting (results "
+             "must not change; the parity suite sweeps several seeds)",
+    )
+
+
+def _backend_setup(args: argparse.Namespace) -> tuple[str, int, dict]:
+    """Resolve (backend name, effective nranks, backend options).
+
+    Under the process backend ``--workers`` *is* the rank count (one
+    real process per rank); under the sim backend ``--workers`` has no
+    meaning and earns a warning rather than silently steering nothing.
+    """
+    workers = getattr(args, "workers", None)
+    if args.backend == "sim":
+        if workers is not None:
+            print(
+                "warning: --workers is ignored by the sim backend "
+                "(use --ranks, or --backend process)",
+                file=sys.stderr,
+            )
+        return "sim", args.ranks, {}
+    nranks = workers if workers is not None else args.ranks
+    options: dict = {}
+    if getattr(args, "schedule_seed", None) is not None:
+        options["schedule_seed"] = args.schedule_seed
+    return "process", nranks, options
+
+
+def _fault_plan(args: argparse.Namespace, nranks: int | None = None):
     """Parse --fault-plan against the run's rank count (None if unset)."""
     from repro.resilience import FaultPlan
 
     if not getattr(args, "fault_plan", None):
         return None
-    return FaultPlan.from_spec(args.fault_plan, nranks=args.ranks)
+    return FaultPlan.from_spec(
+        args.fault_plan, nranks=args.ranks if nranks is None else nranks
+    )
 
 
 def _cache_mb(args: argparse.Namespace) -> float | None:
@@ -143,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     scf.add_argument("--charge", type=int, default=0)
     scf.add_argument("--uhf", action="store_true")
     scf.add_argument("--multiplicity", type=int, default=1)
+    _add_backend_args(scf)
     _add_cache_args(scf)
     _add_resilience_args(scf, restartable=True)
 
@@ -170,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
              "breakdown, load-imbalance decomposition, critical path, "
              "and DLB Gantt (writes timeline.txt + timeline.json)",
     )
+    _add_backend_args(prof)
     _add_cache_args(prof)
     _add_resilience_args(prof, restartable=False)
 
@@ -276,8 +326,16 @@ def cmd_scf(args: argparse.Namespace) -> int:
     print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis functions, "
           f"{basis.nshells} shells ({args.basis})")
 
+    backend, nranks, backend_options = _backend_setup(args)
+    if args.uhf and backend != "sim":
+        print("error: --backend process is not supported with --uhf",
+              file=sys.stderr)
+        return 2
+    if backend == "process":
+        print(f"backend      : process ({nranks} worker process(es))")
+
     try:
-        plan = _fault_plan(args)
+        plan = _fault_plan(args, nranks)
     except FaultSpecError as exc:
         print(f"error: invalid --fault-plan: {exc}", file=sys.stderr)
         return 2
@@ -321,10 +379,12 @@ def cmd_scf(args: argparse.Namespace) -> int:
     from repro.core.scf_driver import ParallelSCF
 
     try:
-        res = ParallelSCF(
-            basis, args.algorithm, nranks=args.ranks, nthreads=args.threads,
+        with ParallelSCF(
+            basis, args.algorithm, nranks=nranks, nthreads=args.threads,
+            backend=backend, backend_options=backend_options,
             eri_cache_mb=_cache_mb(args), fault_plan=plan,
-        ).run(**run_kwargs)
+        ) as scf:
+            res = scf.run(**run_kwargs)
     except SCFConvergenceError as exc:
         print(f"SCF failed: {exc}", file=sys.stderr)
         return 1
@@ -378,10 +438,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
         mol = water()
     basis = BasisSet(mol, args.basis)
     nthreads = 1 if args.algorithm == "mpi-only" else args.threads
+    backend, nranks, backend_options = _backend_setup(args)
     print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis functions, "
           f"{basis.nshells} shells ({args.basis})")
-    print(f"profiling {args.algorithm} on {args.ranks} rank(s) x "
-          f"{nthreads} thread(s)")
+    print(f"profiling {args.algorithm} on {nranks} rank(s) x "
+          f"{nthreads} thread(s) [{backend} backend]")
 
     from repro.resilience import (
         FaultSpecError,
@@ -390,15 +451,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
 
     try:
-        plan = _fault_plan(args)
+        plan = _fault_plan(args, nranks)
     except FaultSpecError as exc:
         print(f"error: invalid --fault-plan: {exc}", file=sys.stderr)
         return 2
 
+    workers_dir = args.output_dir / "workers"
+    if backend == "process":
+        # Workers dump their own spans/events NDJSON here (one shared
+        # time base), merged with the parent trace below.
+        backend_options["obs_dir"] = workers_dir
+
     # Setup (integrals, Schwarz matrix) stays outside the measured
     # window so the traced span total is comparable to the SCF wall.
     scf = ParallelSCF(
-        basis, args.algorithm, nranks=args.ranks, nthreads=nthreads,
+        basis, args.algorithm, nranks=nranks, nthreads=nthreads,
+        backend=backend, backend_options=backend_options,
         eri_cache_mb=_cache_mb(args), fault_plan=plan,
     )
     tracer = Tracer()
@@ -411,6 +479,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         except (SCFConvergenceError, ResilienceError) as exc:
             print(f"SCF failed under injected faults: {exc}", file=sys.stderr)
             return 3
+        finally:
+            scf.shutdown()  # flush and stop process-backend workers
         wall = time.perf_counter() - t0
 
     traced = tracer.total_seconds()
@@ -436,6 +506,20 @@ def cmd_profile(args: argparse.Namespace) -> int:
         for i, s in enumerate(res.fock_stats)
     ]
     write_text(metrics_path, "\n".join(lines))
+
+    merged_path = None
+    if backend == "process":
+        from repro.obs.analysis import merged_chrome_trace, timeline_spans
+        from repro.parallel.backend.process import worker_obs_run
+
+        runs = [("driver", timeline_spans(tracer), list(elog))]
+        worker_run = worker_obs_run(workers_dir, label="workers")
+        if worker_run[1] or worker_run[2]:
+            runs.append(worker_run)
+        merged_path = write_text(
+            out / "merged_trace.json",
+            json.dumps(merged_chrome_trace(runs)),
+        )
 
     print(f"\n{report}\n")
     if args.timeline:
@@ -464,6 +548,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"metrics      : {metrics_path}")
     print(f"spans        : {spans_path}")
     print(f"events       : {events_path} ({len(elog)} events)")
+    if merged_path is not None:
+        print(f"merged trace : {merged_path} (driver + per-worker spans "
+              f"on one timeline)")
     return 0 if res.converged else 1
 
 

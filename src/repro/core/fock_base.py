@@ -12,7 +12,8 @@ the dense reference.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -201,6 +202,45 @@ class FockBuildStats:
         return f"FockBuildStats({fields})"
 
 
+@dataclass
+class RankBuildResult:
+    """Outcome of one rank's share of a Fock build.
+
+    The *rank program* of each algorithm (the per-rank SPMD body that
+    both the deterministic sim backend and the real-process backend
+    execute) returns one of these; the caller merges it into the
+    build-level :class:`FockBuildStats`.  Keeping the record a plain
+    picklable dataclass is what lets worker processes ship it back over
+    a ``multiprocessing`` queue unchanged.
+    """
+
+    rank: int
+    quartets_done: int = 0
+    quartets_screened: int = 0
+    per_thread_quartets: list[int] = field(default_factory=list)
+    fi_flushes: int = 0
+    fj_flushes: int = 0
+    races: int = 0
+    writes_checked: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON/queue-ready flat view."""
+        return {
+            "rank": self.rank,
+            "quartets_done": self.quartets_done,
+            "quartets_screened": self.quartets_screened,
+            "per_thread_quartets": list(self.per_thread_quartets),
+            "fi_flushes": self.fi_flushes,
+            "fj_flushes": self.fj_flushes,
+            "races": self.races,
+            "writes_checked": self.writes_checked,
+        }
+
+    @classmethod
+    def from_dict(cls, rec: dict) -> "RankBuildResult":
+        return cls(**rec)
+
+
 class ParallelFockBuilderBase:
     """Common setup: engine, screening, simulated geometry.
 
@@ -290,7 +330,59 @@ class ParallelFockBuilderBase:
         self.nbf = basis.nbf
         self.nshells = basis.nshells
 
-    # Subclasses implement __call__(density) -> (fock, stats).
+    # Subclasses implement __call__(density) -> (fock, stats), plus the
+    # backend-facing rank-program interface:
+    #
+    #   dlb_ntasks()                      size of the DLB index space
+    #   dlb_costs()                       per-task costs (cost_greedy) or None
+    #   rank_program(rank, grants, density, W, *, barrier=None)
+    #                                     one rank's share of the build;
+    #                                     accumulates into W in place and
+    #                                     returns a RankBuildResult
+    #
+    # The sim path (__call__) and the real-process backend both execute
+    # rank_program, so "same rank program on real OS processes" is a
+    # structural guarantee, not a convention.
+
+    def dlb_ntasks(self) -> int:
+        """Size of the global DLB index space of one build."""
+        raise NotImplementedError
+
+    def dlb_costs(self) -> np.ndarray | None:
+        """Per-task cost estimates under ``cost_greedy`` (else ``None``)."""
+        return None
+
+    def rank_program(
+        self,
+        rank: int,
+        grants: Iterator[int],
+        density: np.ndarray,
+        W: np.ndarray,
+        *,
+        barrier: Callable[[], None] | None = None,
+    ) -> RankBuildResult:
+        """Execute one rank's share of the build; accumulate into ``W``."""
+        raise NotImplementedError
+
+    def assemble(self, W: np.ndarray) -> np.ndarray:
+        """Full Fock matrix from the reduced two-electron accumulator."""
+        return self.hcore + symmetrize_two_electron(W)
+
+    @staticmethod
+    def _merge_rank_result(stats: FockBuildStats, rr: RankBuildResult) -> None:
+        """Fold one rank's :class:`RankBuildResult` into the build stats."""
+        stats.quartets_screened += rr.quartets_screened
+        stats.fi_flushes += rr.fi_flushes
+        stats.fj_flushes += rr.fj_flushes
+        stats.races += rr.races
+        stats.writes_checked += rr.writes_checked
+        if rr.per_thread_quartets:
+            counts = stats.per_thread_quartets
+            if not counts:
+                counts = [0] * len(rr.per_thread_quartets)
+            stats.per_thread_quartets = [
+                a + b for a, b in zip(counts, rr.per_thread_quartets)
+            ]
 
     def _check_density(self, density: np.ndarray, label: str = "density") -> None:
         """Fail fast on NaN/Inf input instead of iterating on garbage.

@@ -15,9 +15,15 @@ replicated matrices (see :mod:`repro.core.memory_model`).
 
 from __future__ import annotations
 
+from typing import Callable, Iterator
+
 import numpy as np
 
-from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
+from repro.core.fock_base import (
+    FockBuildStats,
+    ParallelFockBuilderBase,
+    RankBuildResult,
+)
 from repro.core.indexing import decode_pair, lmax_for, npairs
 from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
@@ -35,35 +41,56 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
             raise ValueError("the MPI-only algorithm is single-threaded per rank")
         super().__init__(basis, hcore, **kwargs)
 
+    def dlb_ntasks(self) -> int:
+        return npairs(self.nshells)
+
+    def dlb_costs(self) -> np.ndarray | None:
+        if self.dlb_policy != "cost_greedy":
+            return None
+        return self.screening.pair_survivor_counts()
+
+    def rank_program(
+        self,
+        rank: int,
+        grants: Iterator[int],
+        density: np.ndarray,
+        W: np.ndarray,
+        *,
+        barrier: Callable[[], None] | None = None,
+    ) -> RankBuildResult:
+        """One rank's share: the stock replicated-Fock quartet loops."""
+        rr = RankBuildResult(rank=rank)
+        # Stock loop: i over shells, j <= i, with the DLB check on
+        # the combined (i, j) index (ddi_dlbnext).
+        with get_tracer().span("fock/quartets", rank=rank):
+            for ij in grants:
+                i, j = decode_pair(ij)
+                for k in range(i + 1):
+                    for l in range(lmax_for(i, j, k) + 1):
+                        if not self.screening.survives(i, j, k, l):
+                            rr.quartets_screened += 1
+                            continue
+                        self.engine.apply_quartet(W, density, i, j, k, l)
+                        rr.quartets_done += 1
+        return rr
+
     def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
         stats = self._new_stats()
         self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
-        ntasks = npairs(self.nshells)
         dlb = DynamicLoadBalancer(
-            ntasks, self.nranks, policy=self.dlb_policy,
-            costs=self._dlb_costs(ntasks),
+            self.dlb_ntasks(), self.nranks, policy=self.dlb_policy,
+            costs=self.dlb_costs(),
         )
         results: list[np.ndarray] = []
 
         def rank_main(comm: SimComm) -> None:
             rank = comm.rank
             W = np.zeros((self.nbf, self.nbf))
-            done = 0
-            # Stock loop: i over shells, j <= i, with the DLB check on
-            # the combined (i, j) index (ddi_dlbnext).
-            with tracer.span("fock/quartets", rank=rank):
-                for ij in self._grants(dlb, rank):
-                    i, j = decode_pair(ij)
-                    for k in range(i + 1):
-                        for l in range(lmax_for(i, j, k) + 1):
-                            if not self.screening.survives(i, j, k, l):
-                                stats.quartets_screened += 1
-                                continue
-                            self.engine.apply_quartet(W, density, i, j, k, l)
-                            done += 1
-            stats.per_rank_quartets.append(done)
+            rr = self.rank_program(rank, self._grants(dlb, rank), density, W)
+            self._merge_rank_result(stats, rr)
+            stats.per_rank_quartets.append(rr.quartets_done)
             with tracer.span("fock/gsumf", rank=rank):
                 self._resilient_gsumf(comm, W)
             results.append(W)
@@ -74,8 +101,3 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
             world.execute(rank_main)
         stats.quartets_computed = sum(stats.per_rank_quartets)
         return self._finish(results[0], stats, world, [])
-
-    def _dlb_costs(self, ntasks: int) -> np.ndarray | None:
-        if self.dlb_policy != "cost_greedy":
-            return None
-        return self.screening.pair_survivor_counts()

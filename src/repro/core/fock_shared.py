@@ -22,10 +22,16 @@ matrix shared by all threads; write conflicts are avoided structurally:
 
 from __future__ import annotations
 
+from typing import Callable, Iterator
+
 import numpy as np
 
 from repro.core.buffers import ColumnBlockBuffer
-from repro.core.fock_base import FockBuildStats, ParallelFockBuilderBase
+from repro.core.fock_base import (
+    FockBuildStats,
+    ParallelFockBuilderBase,
+    RankBuildResult,
+)
 from repro.core.indexing import decode_pair, decode_pairs, npairs
 from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
@@ -51,101 +57,121 @@ class SharedFockBuilder(ParallelFockBuilderBase):
         super().__init__(basis, hcore, **kwargs)
         self.flush_fi_every_iteration = flush_fi_every_iteration
 
-    def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
-        stats = self._new_stats()
-        self._check_density(density)
+    def dlb_ntasks(self) -> int:
+        return npairs(self.nshells)
+
+    def rank_program(
+        self,
+        rank: int,
+        grants: Iterator[int],
+        density: np.ndarray,
+        W: np.ndarray,
+        *,
+        barrier: Callable[[], None] | None = None,
+    ) -> RankBuildResult:
+        """One rank's share: shared Fock with FI/FJ buffers and flushes."""
+        rr = RankBuildResult(rank=rank)
         tracer = get_tracer()
-        world = SimWorld(self.nranks)
-        ntasks = npairs(self.nshells)
-        dlb = DynamicLoadBalancer(
-            ntasks, self.nranks, policy=self.dlb_policy,
-            costs=self._dlb_costs(),
-        )
         team = ThreadTeam(self.nthreads)
-        comps = self.basis.composite_shells
         offsets = self.basis.shell_bf_offsets()
         widths = self.basis.shell_nfuncs()
         max_width = self.basis.max_shell_nfunc()
-        results: list[np.ndarray] = []
-        trackers: list[WriteTracker | None] = []
         thread_counts = np.zeros(self.nthreads, dtype=np.int64)
+        tracker = self._new_tracker()
+        FI = ColumnBlockBuffer(self.nbf, max_width, self.nthreads)
+        FJ = ColumnBlockBuffer(self.nbf, max_width, self.nthreads)
+        iold = -1
+        done = 0
 
-        def rank_main(comm: SimComm) -> None:
-            rank = comm.rank
-            tracker = self._new_tracker()
-            trackers.append(tracker)
-            # ONE shared Fock accumulator for the whole rank.
-            W = np.zeros((self.nbf, self.nbf))
-            FI = ColumnBlockBuffer(self.nbf, max_width, self.nthreads)
-            FJ = ColumnBlockBuffer(self.nbf, max_width, self.nthreads)
-            iold = -1
-            done = 0
+        for ij in grants:
+            i, j = decode_pair(ij)
+            # Bra prescreening (paper Algorithm 3 line 13, safe form).
+            if not self.screening.prescreen_ij(i, j):
+                rr.quartets_screened += ij + 1
+                continue
 
-            for ij in self._grants(dlb, rank):
-                i, j = decode_pair(ij)
-                # Bra prescreening (paper Algorithm 3 line 13, safe form).
-                if not self.screening.prescreen_ij(i, j):
-                    stats.quartets_screened += ij + 1
-                    continue
-
-                # Flush FI when the i index changes (lines 15-18) — or
-                # every iteration when the iold optimization is ablated.
-                if (i != iold or self.flush_fi_every_iteration) and iold >= 0:
-                    with tracer.span("fock/flush_fi", rank=rank, i=iold):
-                        FI.flush(
-                            W, int(offsets[iold]), int(widths[iold]),
-                            tracker=tracker,
-                        )
-                    if tracker is not None:
-                        tracker.barrier()
-
-                kl_surviving = self.screening.surviving_kl_pairs(ij)
-                stats.quartets_screened += (ij + 1) - kl_surviving.size
-                if kl_surviving.size:
-                    ks, ls = decode_pairs(kl_surviving)
-                    shares = team.partition(
-                        kl_surviving.size,
-                        schedule=self.thread_schedule,
-                        chunk=self.thread_chunk,
-                        costs=self._kl_costs(ks, ls, widths),
-                    )
-                    si = slice(int(offsets[i]), int(offsets[i] + widths[i]))
-                    sj = slice(int(offsets[j]), int(offsets[j] + widths[j]))
-                    for t, share in enumerate(shares):
-                        with tracer.span(
-                            "fock/kl", rank=rank, thread=t, ij=ij,
-                            tasks=len(share),
-                        ):
-                            for idx in share:
-                                k, l = int(ks[idx]), int(ls[idx])
-                                self._do_quartet(
-                                    W, FI, FJ, density, i, j, k, l, t,
-                                    si, sj, tracker,
-                                )
-                                thread_counts[t] += 1
-                                done += 1
-                    if tracker is not None:
-                        tracker.barrier()
-
-                # Flush FJ after every kl loop (line 31).
-                with tracer.span("fock/flush_fj", rank=rank, j=j):
-                    FJ.flush(
-                        W, int(offsets[j]), int(widths[j]), tracker=tracker
-                    )
-                if tracker is not None:
-                    tracker.barrier()
-                iold = i
-
-            # Remainder FI flush (line 36).
-            if iold >= 0:
+            # Flush FI when the i index changes (lines 15-18) — or
+            # every iteration when the iold optimization is ablated.
+            if (i != iold or self.flush_fi_every_iteration) and iold >= 0:
                 with tracer.span("fock/flush_fi", rank=rank, i=iold):
                     FI.flush(
                         W, int(offsets[iold]), int(widths[iold]),
                         tracker=tracker,
                     )
-            stats.per_rank_quartets.append(done)
-            stats.fi_flushes += FI.flushes
-            stats.fj_flushes += FJ.flushes
+                if tracker is not None:
+                    tracker.barrier()
+
+            kl_surviving = self.screening.surviving_kl_pairs(ij)
+            rr.quartets_screened += (ij + 1) - kl_surviving.size
+            if kl_surviving.size:
+                ks, ls = decode_pairs(kl_surviving)
+                shares = team.partition(
+                    kl_surviving.size,
+                    schedule=self.thread_schedule,
+                    chunk=self.thread_chunk,
+                    costs=self._kl_costs(ks, ls, widths),
+                )
+                si = slice(int(offsets[i]), int(offsets[i] + widths[i]))
+                sj = slice(int(offsets[j]), int(offsets[j] + widths[j]))
+                for t, share in enumerate(shares):
+                    with tracer.span(
+                        "fock/kl", rank=rank, thread=t, ij=ij,
+                        tasks=len(share),
+                    ):
+                        for idx in share:
+                            k, l = int(ks[idx]), int(ls[idx])
+                            self._do_quartet(
+                                W, FI, FJ, density, i, j, k, l, t,
+                                si, sj, tracker,
+                            )
+                            thread_counts[t] += 1
+                            done += 1
+                if tracker is not None:
+                    tracker.barrier()
+
+            # Flush FJ after every kl loop (line 31).
+            with tracer.span("fock/flush_fj", rank=rank, j=j):
+                FJ.flush(
+                    W, int(offsets[j]), int(widths[j]), tracker=tracker
+                )
+            if tracker is not None:
+                tracker.barrier()
+            iold = i
+
+        # Remainder FI flush (line 36).
+        if iold >= 0:
+            with tracer.span("fock/flush_fi", rank=rank, i=iold):
+                FI.flush(
+                    W, int(offsets[iold]), int(widths[iold]),
+                    tracker=tracker,
+                )
+        rr.quartets_done = done
+        rr.per_thread_quartets = thread_counts.tolist()
+        rr.fi_flushes = FI.flushes
+        rr.fj_flushes = FJ.flushes
+        if tracker is not None:
+            rr.races = len(tracker.races)
+            rr.writes_checked = tracker.writes_checked
+        return rr
+
+    def __call__(self, density: np.ndarray) -> tuple[np.ndarray, FockBuildStats]:
+        stats = self._new_stats()
+        self._check_density(density)
+        tracer = get_tracer()
+        world = SimWorld(self.nranks)
+        dlb = DynamicLoadBalancer(
+            self.dlb_ntasks(), self.nranks, policy=self.dlb_policy,
+            costs=self.dlb_costs(),
+        )
+        results: list[np.ndarray] = []
+
+        def rank_main(comm: SimComm) -> None:
+            rank = comm.rank
+            # ONE shared Fock accumulator for the whole rank.
+            W = np.zeros((self.nbf, self.nbf))
+            rr = self.rank_program(rank, self._grants(dlb, rank), density, W)
+            self._merge_rank_result(stats, rr)
+            stats.per_rank_quartets.append(rr.quartets_done)
             with tracer.span("fock/gsumf", rank=rank):
                 self._resilient_gsumf(comm, W)
             results.append(W)
@@ -156,8 +182,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
         ):
             world.execute(rank_main)
         stats.quartets_computed = sum(stats.per_rank_quartets)
-        stats.per_thread_quartets = thread_counts.tolist()
-        return self._finish(results[0], stats, world, trackers)
+        return self._finish(results[0], stats, world, [])
 
     def _do_quartet(
         self,
@@ -193,7 +218,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
         if tracker is not None:
             tracker.record_block(thread, W.shape, rows, cols)
 
-    def _dlb_costs(self) -> np.ndarray | None:
+    def dlb_costs(self) -> np.ndarray | None:
         if self.dlb_policy != "cost_greedy":
             return None
         return self.screening.pair_survivor_counts()

@@ -21,6 +21,7 @@ from repro.core.fock_shared import SharedFockBuilder
 from repro.core.screening import Screening
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix
 from repro.obs.tracer import get_tracer
+from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.resilience.errors import SCFConvergenceError
 from repro.scf.convergence import ConvergenceCriteria
 from repro.scf.rhf import RHF, SCFResult
@@ -93,9 +94,19 @@ class ParallelSCF:
         ``"mpi-only"`` / ``"private-fock"`` / ``"shared-fock"``.
     nranks, nthreads:
         Simulated geometry (the MPI-only algorithm requires
-        ``nthreads == 1``).
+        ``nthreads == 1``).  Under the process backend, ``nranks`` is
+        the number of real worker processes.
     criteria:
         SCF convergence settings.
+    backend:
+        Execution backend: ``"sim"`` (default, the deterministic
+        cooperative runtime), ``"process"`` (real OS worker processes,
+        shared-memory matrices), or a ready
+        :class:`~repro.parallel.backend.ExecutionBackend` instance.
+    backend_options:
+        Extra keyword arguments for
+        :func:`~repro.parallel.backend.make_backend`
+        (``schedule_seed``, ``obs_dir``).
     **builder_kwargs:
         Forwarded to the Fock builder (``tau``, ``dlb_policy``,
         ``thread_schedule``, ``track_races``, ...).
@@ -109,6 +120,8 @@ class ParallelSCF:
         nranks: int = 1,
         nthreads: int = 1,
         criteria: ConvergenceCriteria | None = None,
+        backend: "str | ExecutionBackend" = "sim",
+        backend_options: dict | None = None,
         **builder_kwargs,
     ) -> None:
         self.basis = basis
@@ -116,21 +129,36 @@ class ParallelSCF:
         hcore = kinetic_matrix(basis) + nuclear_matrix(basis)
         self._fock_stats: list[FockBuildStats] = []
 
+        self.backend = make_backend(
+            backend, workers=nranks, **(backend_options or {})
+        )
         inner = make_fock_builder(
             algorithm, basis, hcore,
             nranks=nranks, nthreads=nthreads, **builder_kwargs,
         )
-        self.builder = inner
+        self.builder = self.backend.wrap_builder(inner)
+        builder = self.builder
 
         def recording_builder(D: np.ndarray):
             with get_tracer().span(
                 "scf/fock_build", iteration=len(self._fock_stats) + 1
             ):
-                F, stats = inner(D)
+                F, stats = builder(D)
             self._fock_stats.append(stats)
             return F, {"fock": stats}
 
         self.rhf = RHF(basis, recording_builder, criteria=criteria)
+
+    def shutdown(self) -> None:
+        """Release backend resources (worker processes, shared memory)."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "ParallelSCF":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.shutdown()
+        return False
 
     def run(self, **kwargs) -> ParallelSCFResult:
         """Run the SCF; returns energy plus per-iteration Fock stats.

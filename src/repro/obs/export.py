@@ -232,10 +232,18 @@ def profile_report(tracer: Tracer, *, title: str = "profile") -> str:
 # -- NDJSON ------------------------------------------------------------------
 
 
-def spans_ndjson(tracer: Tracer) -> str:
-    """One JSON line per completed span (name, start, dur, depth, attrs)."""
+def spans_ndjson(tracer: Tracer, *, t0: float | None = None) -> str:
+    """One JSON line per completed span (name, start, dur, depth, attrs).
+
+    ``t0`` pins the zero of the relative timestamps; it defaults to the
+    earliest recorded span.  The real-process backend passes one shared
+    ``perf_counter`` reading to every worker (the clock is
+    ``CLOCK_MONOTONIC``, common across processes on one host), so the
+    per-worker dumps land on a single merged timeline.
+    """
     spans = [s for s in tracer.walk() if s.end is not None]
-    t0 = min((s.start for s in spans), default=0.0)
+    if t0 is None:
+        t0 = min((s.start for s in spans), default=0.0)
     lines = []
     for s in spans:
         lines.append(
@@ -259,9 +267,11 @@ def metrics_ndjson(registry: MetricsRegistry) -> str:
     return "\n".join(json.dumps(rec) for rec in registry.records())
 
 
-def write_spans_ndjson(tracer: Tracer, path: str | Path) -> Path:
+def write_spans_ndjson(
+    tracer: Tracer, path: str | Path, *, t0: float | None = None
+) -> Path:
     """Write :func:`spans_ndjson` to ``path`` (parent dirs created)."""
-    return write_text(path, spans_ndjson(tracer))
+    return write_text(path, spans_ndjson(tracer, t0=t0))
 
 
 def write_metrics_ndjson(registry: MetricsRegistry, path: str | Path) -> Path:

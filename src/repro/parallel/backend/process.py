@@ -1,0 +1,455 @@
+"""Real-process execution backend (``multiprocessing`` fork workers).
+
+:class:`ProcessFockBuilder` runs the *same rank programs* the sim
+backend executes — ``builder.rank_program(rank, grants, density, W)``
+verbatim — but on real OS processes:
+
+* The density, the Schwarz screening matrix, and one Fock accumulator
+  slab per rank live in ``multiprocessing.shared_memory`` blocks
+  (:class:`~repro.parallel.shared_array.SharedNDArray`); workers are
+  forked, so they inherit the mappings and read/write the same physical
+  pages — the process analogue of the paper's shared-density setup.
+* The DLB is the real DDI protocol: a lock-backed shared counter
+  (:class:`~repro.parallel.backend.counter.SharedTaskCounter`) serving
+  ``dlbnext`` grants whose rank assignment depends on arrival timing.
+  Grant interleaving is genuinely nondeterministic; the reduced Fock
+  matrix is partition-independent, which the parity suite certifies
+  against the deterministic sim backend (<= 1e-10 Hartree).
+* The reduction is performed by the parent in rank order — the same
+  floating-point association as the sim world's slot reduction — after
+  all workers report.
+
+Fault injection is *real* here: a :class:`~repro.resilience.faults
+.FaultPlan` ``kill`` event makes the worker ``os._exit`` at a
+task-claim boundary mid-build (no result, partial slab); ``delay``
+events put the worker to sleep.  Recovery is parent-side: a lost
+worker's slab is zeroed and its claimed tasks (the counter's owner
+board remembers them, in claim order) are replayed by the parent into
+the same reduction slot, then the worker is respawned for the next
+build.  ``corrupt`` events are a wire-level sim concept and do not fire
+in this backend.
+
+Observability: each worker traces its rank program into per-worker
+spans/events NDJSON under ``obs_dir/worker<r>/``, timestamped against
+one shared ``perf_counter`` base (``CLOCK_MONOTONIC`` is common across
+processes on a host), so :func:`worker_obs_run` can hand the whole
+worker fleet to
+:func:`~repro.obs.analysis.timeline.merged_chrome_trace` as a single
+aligned timeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.obs.events import EventLog, events_from_ndjson, events_ndjson, get_event_log
+from repro.obs.export import spans_ndjson
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
+from repro.parallel.backend.base import ExecutionBackend
+from repro.parallel.backend.counter import SharedTaskCounter
+from repro.parallel.shared_array import SharedNDArray
+
+#: Injected-kill exit code (distinguishes chaos deaths in diagnostics).
+KILLED_EXIT_CODE = 17
+
+#: Hard ceiling on one Fock build's wall time before the parent gives up.
+DEFAULT_BUILD_TIMEOUT_S = 120.0
+
+
+class BuildTimeoutError(RuntimeError):
+    """A process-backend Fock build exceeded its wall-clock budget."""
+
+
+class WorkerGeometryError(ValueError):
+    """Builder geometry and backend worker count disagree."""
+
+
+def _flush_worker_obs(cfg: dict, rank: int, tracer: Tracer | None,
+                      log: EventLog | None) -> None:
+    """Append this worker's spans/events NDJSON (shared time base)."""
+    if cfg["obs_dir"] is None:
+        return
+    d = Path(cfg["obs_dir"]) / f"worker{rank}"
+    d.mkdir(parents=True, exist_ok=True)
+    if tracer is not None:
+        text = spans_ndjson(tracer, t0=cfg["t0"])
+        if text:
+            with open(d / "spans.ndjson", "a") as fh:
+                fh.write(text + "\n")
+        tracer.clear()
+    if log is not None:
+        if log.events:
+            with open(d / "events.ndjson", "a") as fh:
+                fh.write(events_ndjson(log, t0=cfg["t0"]) + "\n")
+        log.clear()
+
+
+def _worker_loop(
+    rank: int,
+    builder: Any,
+    counter: SharedTaskCounter,
+    density: SharedNDArray,
+    slabs: SharedNDArray,
+    cmd: Any,
+    results: Any,
+    cfg: dict,
+) -> None:
+    """One worker process: serve ``("build", cycle)`` commands forever.
+
+    Everything arrives through fork inheritance (no pickling): the sim
+    builder (whose ``rank_program`` we execute), the shared counter,
+    and the shared-memory views.
+    """
+    tracer = Tracer() if cfg["obs_dir"] is not None else None
+    log = EventLog() if cfg["obs_dir"] is not None else None
+    plan = builder.fault_plan
+    D = density.array
+    W = slabs.array[rank]
+    while True:
+        msg = cmd.get()
+        if msg[0] == "stop":
+            _flush_worker_obs(cfg, rank, tracer, log)
+            return
+        cycle = msg[1]
+        kill_after = plan.kill_after(rank, cycle) if plan is not None else None
+        factor = plan.delay_factor(rank, cycle) if plan is not None else 1.0
+        if factor > 1.0:
+            # A real straggler: this worker sleeps, the shared counter
+            # shifts its grants to the faster ranks automatically.
+            if log is not None:
+                log.emit("fault.delay", rank=rank, cycle=cycle, factor=factor)
+            time.sleep(min(0.2, 0.02 * (factor - 1.0)))
+        rng = (
+            np.random.default_rng([cfg["schedule_seed"], rank, cycle])
+            if cfg["schedule_seed"] is not None
+            else None
+        )
+
+        def grants():
+            done = 0
+            while True:
+                if kill_after is not None and done >= kill_after:
+                    # Die *for real*, mid-build, at the claim boundary:
+                    # no result message, a partially-written slab, and
+                    # a counter that keeps serving the survivors.  The
+                    # parent replays our claimed tasks and respawns us.
+                    if log is not None:
+                        log.emit(
+                            "fault.kill", rank=rank, cycle=cycle, after=done
+                        )
+                    _flush_worker_obs(cfg, rank, tracer, log)
+                    os._exit(KILLED_EXIT_CODE)
+                if rng is not None:
+                    # Scheduling jitter for nondeterminism hunting:
+                    # perturb claim arrival order between runs.
+                    time.sleep(float(rng.random()) * 2e-4)
+                t = counter.next(rank)
+                if t is None:
+                    return
+                yield t
+                done += 1
+
+        if tracer is not None:
+            with use_tracer(tracer):
+                with tracer.span(
+                    "fock/rank", rank=rank, cycle=cycle,
+                    pid=os.getpid(), backend="process",
+                ):
+                    rr = builder.rank_program(rank, grants(), D, W)
+        else:
+            rr = builder.rank_program(rank, grants(), D, W)
+        _flush_worker_obs(cfg, rank, tracer, log)
+        results.put((rank, cycle, rr.as_dict()))
+
+
+class ProcessFockBuilder:
+    """Drop-in ``builder(density) -> (fock, stats)`` on real processes.
+
+    Wraps a sim builder constructed with ``nranks == workers``; the sim
+    object itself crosses the fork into every worker, so its
+    ``rank_program`` — including screening, the quartet engine, and the
+    fault plan — is byte-for-byte the code the sim backend runs.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        *,
+        workers: int,
+        schedule_seed: int | None = None,
+        obs_dir: str | Path | None = None,
+        build_timeout_s: float = DEFAULT_BUILD_TIMEOUT_S,
+    ) -> None:
+        if workers < 1:
+            raise WorkerGeometryError(f"workers must be >= 1, got {workers}")
+        if inner.nranks != workers:
+            raise WorkerGeometryError(
+                f"builder was configured for nranks={inner.nranks} but the "
+                f"process backend runs {workers} worker(s); construct the "
+                "builder with nranks == workers"
+            )
+        self.inner = inner
+        self.workers = workers
+        self.build_timeout_s = build_timeout_s
+        self._ctx = mp.get_context("fork")
+        nbf = inner.nbf
+        self._density = SharedNDArray((nbf, nbf))
+        self._slabs = SharedNDArray((workers, nbf, nbf))
+        self._counter = SharedTaskCounter(inner.dlb_ntasks(), ctx=self._ctx)
+        # Re-home the Schwarz matrix in shared memory *before* any fork:
+        # workers then screen against the same physical pages instead of
+        # copy-on-write duplicates.
+        self._schwarz = SharedNDArray(inner.screening.Q.shape)
+        self._schwarz.array[:] = inner.screening.Q
+        inner.screening.Q = self._schwarz.array
+        self._cfg = {
+            "schedule_seed": schedule_seed,
+            "obs_dir": None if obs_dir is None else str(obs_dir),
+            "t0": time.perf_counter(),  # shared trace base for all workers
+        }
+        self._procs: list[Any] = [None] * workers
+        self._cmds: list[Any] = [None] * workers
+        self._results = self._ctx.Queue()
+        self._closed = False
+
+    def __getattr__(self, name: str) -> Any:
+        # Geometry/metadata reads (nbf, algorithm_name, basis, ...)
+        # delegate to the wrapped sim builder.
+        return getattr(self.inner, name)
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _spawn(self, rank: int) -> None:
+        cmd = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(
+                rank, self.inner, self._counter, self._density,
+                self._slabs, cmd, self._results, self._cfg,
+            ),
+            name=f"fock-worker-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        self._cmds[rank] = cmd
+        self._procs[rank] = proc
+
+    def _ensure_workers(self) -> None:
+        """Start lazily; respawn any worker lost in an earlier build."""
+        for rank in range(self.workers):
+            proc = self._procs[rank]
+            if proc is None or not proc.is_alive():
+                self._spawn(rank)
+
+    # -- the build -----------------------------------------------------------
+
+    def __call__(self, density: np.ndarray) -> tuple[np.ndarray, Any]:
+        if self._closed:
+            raise RuntimeError("process backend already shut down")
+        stats = self.inner._new_stats()
+        cycle = self.inner._build_index
+        self.inner._check_density(density)
+        tracer = get_tracer()
+        with tracer.span(
+            "fock/build", algorithm=self.inner.algorithm_name,
+            nranks=self.workers, nthreads=self.inner.nthreads,
+            backend="process",
+        ):
+            self._density.array[:] = density
+            self._slabs.fill(0.0)
+            self._counter.reset(self.inner.dlb_ntasks())
+            self._ensure_workers()
+            for rank in range(self.workers):
+                self._cmds[rank].put(("build", cycle))
+            rrs, dead = self._collect(cycle)
+            self._recover(rrs, dead, cycle)
+            # Reduce the per-rank slabs in rank order — the same
+            # floating-point association as SimWorld's slot reduction.
+            with tracer.span("fock/gsumf", backend="process"):
+                W = np.zeros((self.inner.nbf, self.inner.nbf))
+                for rank in range(self.workers):
+                    W += self._slabs.array[rank]
+        for rank in range(self.workers):
+            rr = rrs[rank]
+            self.inner._merge_rank_result(stats, rr)
+            stats.per_rank_quartets.append(rr.quartets_done)
+        stats.quartets_computed = sum(stats.per_rank_quartets)
+        stats.reduce_bytes = W.nbytes * self.workers
+        self.inner._capture_cache_stats(stats)
+        self.inner._record_global(stats)
+        return self.inner.assemble(W), stats
+
+    def _collect(self, cycle: int) -> tuple[dict, list[int]]:
+        """Gather per-rank results; detect workers that died mid-build."""
+        from repro.core.fock_base import RankBuildResult
+
+        rrs: dict[int, RankBuildResult] = {}
+        dead: list[int] = []
+        pending = set(range(self.workers))
+        deadline = time.monotonic() + self.build_timeout_s
+        while pending:
+            try:
+                rank, rcycle, payload = self._results.get(timeout=0.25)
+            except queue_mod.Empty:
+                for rank in sorted(pending):
+                    proc = self._procs[rank]
+                    if proc is not None and not proc.is_alive():
+                        # A live worker never exits between builds, so a
+                        # dead pending worker has no result in flight.
+                        proc.join()
+                        self._procs[rank] = None
+                        pending.discard(rank)
+                        dead.append(rank)
+                if time.monotonic() > deadline:
+                    raise BuildTimeoutError(
+                        f"Fock build {cycle}: worker(s) {sorted(pending)} "
+                        f"unresponsive after {self.build_timeout_s:.0f} s"
+                    )
+                continue
+            if rcycle != cycle:  # pragma: no cover - lock-step safety net
+                continue
+            rrs[rank] = RankBuildResult.from_dict(payload)
+            pending.discard(rank)
+        return rrs, dead
+
+    def _recover(self, rrs: dict, dead: list[int], cycle: int) -> None:
+        """Replay each lost worker's claimed tasks in the parent.
+
+        The owner board lists the dead rank's claims in claim order;
+        zero-and-replay into its own slab reproduces its contribution
+        regardless of how far the worker got before dying (partial
+        direct writes, unflushed column buffers, unreduced
+        thread-private Focks — all discarded and redone).
+        """
+        if not dead:
+            return
+        registry = get_metrics()
+        log = get_event_log()
+        leftover = list(range(self._counter.claimed(), self._counter.ntasks))
+        for idx, rank in enumerate(sorted(dead)):
+            tasks = self._counter.owned(rank)
+            if idx == 0 and leftover:
+                # Unclaimed tail (every worker died): fold into the
+                # first replay so no task is lost.
+                tasks += leftover
+            slab = self._slabs.array[rank]
+            slab[:] = 0.0
+            rr = self.inner.rank_program(
+                rank, iter(tasks), self._density.array, slab
+            )
+            rrs[rank] = rr
+            if registry is not None:
+                registry.counter("process.workers_lost").inc()
+                registry.counter(
+                    "process.tasks_replayed", rank=rank
+                ).inc(len(tasks))
+            if log is not None:
+                log.emit(
+                    "process.worker_lost", rank=rank, cycle=cycle,
+                    replayed=len(tasks),
+                )
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop workers, restore the builder, release shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        for rank, proc in enumerate(self._procs):
+            if proc is not None and proc.is_alive():
+                try:
+                    self._cmds[rank].put(("stop",))
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - teardown best effort
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = [None] * self.workers
+        # Give the builder back a private Schwarz matrix before the
+        # shared block goes away.
+        self.inner.screening.Q = np.array(self._schwarz.array, copy=True)
+        self._schwarz.close(unlink=True)
+        self._density.close(unlink=True)
+        self._slabs.close(unlink=True)
+        self._counter.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+class ProcessBackend(ExecutionBackend):
+    """Execution backend that owns a fleet of fork workers per builder."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        schedule_seed: int | None = None,
+        obs_dir: str | Path | None = None,
+        build_timeout_s: float = DEFAULT_BUILD_TIMEOUT_S,
+    ) -> None:
+        if workers < 1:
+            raise WorkerGeometryError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.schedule_seed = schedule_seed
+        self.obs_dir = obs_dir
+        self.build_timeout_s = build_timeout_s
+        self._wrapped: list[ProcessFockBuilder] = []
+
+    def wrap_builder(self, builder: Any) -> ProcessFockBuilder:
+        wrapped = ProcessFockBuilder(
+            builder,
+            workers=self.workers,
+            schedule_seed=self.schedule_seed,
+            obs_dir=self.obs_dir,
+            build_timeout_s=self.build_timeout_s,
+        )
+        self._wrapped.append(wrapped)
+        return wrapped
+
+    def shutdown(self) -> None:
+        for wrapped in self._wrapped:
+            wrapped.shutdown()
+        self._wrapped.clear()
+
+
+def worker_obs_run(
+    obs_dir: str | Path, *, label: str = "process"
+) -> tuple[str, list, list]:
+    """Load all per-worker NDJSON dumps as one merged-trace run triple.
+
+    All workers share one trace time base, so returning them as a
+    *single* ``(label, spans, events)`` triple (rank = pid track)
+    preserves their relative alignment through
+    :func:`~repro.obs.analysis.timeline.merged_chrome_trace`.
+    """
+    from repro.obs.analysis.timeline import spans_from_ndjson
+
+    spans: list = []
+    events: list = []
+    for d in sorted(Path(obs_dir).glob("worker*")):
+        spans_file = d / "spans.ndjson"
+        events_file = d / "events.ndjson"
+        if spans_file.exists():
+            spans += spans_from_ndjson(spans_file.read_text())
+        if events_file.exists():
+            events += events_from_ndjson(events_file.read_text())
+    return (label, spans, events)

@@ -1,0 +1,23 @@
+"""The deterministic single-process backend (the reference)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.parallel.backend.base import ExecutionBackend
+
+
+class SimBackend(ExecutionBackend):
+    """Run rank programs on the cooperative in-process runtime.
+
+    The sim builders already *are* this backend — ranks execute
+    sequentially through :class:`~repro.parallel.comm.SimWorld` with a
+    pre-partitioned DLB and slot-ordered reductions, so every run is
+    bitwise reproducible.  Wrapping is therefore the identity; the class
+    exists so drivers can treat both execution modes uniformly.
+    """
+
+    name = "sim"
+
+    def wrap_builder(self, builder: Any) -> Any:
+        return builder

@@ -19,6 +19,15 @@ from repro.obs.metrics import get_metrics
 #: false-sharing unit on KNL.
 PAD_DOUBLES: int = 8
 
+#: Documented floating-point tolerance under which the tree reduction is
+#: *permutation-invariant*: reordering the thread columns changes the
+#: reduced result by at most this relative amount.  Addition is not
+#: associative in floating point, so different thread interleavings
+#: (sim vs. real processes, different OpenMP schedules) produce results
+#: that differ at rounding level — this constant is the contract the
+#: property tests and the sim↔process parity suite hold the runtime to.
+PERMUTATION_TOLERANCE: float = 1.0e-10
+
 
 def padded_rows(nrows: int, pad: int = PAD_DOUBLES) -> int:
     """Leading dimension after padding to a cache-line multiple."""

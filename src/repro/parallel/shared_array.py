@@ -1,22 +1,95 @@
-"""Write-race detection for simulated shared arrays.
+"""Shared-array views and write-race detection.
 
-The paper's central correctness argument for the shared-Fock algorithm
-is that, within one OpenMP region between barriers, no two threads ever
-write the same Fock element: the direct ``F(k,l)`` updates touch
-disjoint ``(k,l)`` blocks because each ``kl`` iteration belongs to one
-thread, and the buffer flushes are row-partitioned.  The
-:class:`WriteTracker` turns that argument into a checkable invariant:
-algorithms report every shared write as ``(phase, thread, flat element
-indices)`` and the tracker raises :class:`RaceError` (or records the
-conflict) when two different threads write one element inside the same
-synchronization phase.
+Two layers live here:
+
+* :class:`SharedNDArray` — a numpy view over a
+  :class:`multiprocessing.shared_memory.SharedMemory` block, the view
+  layer of the real-process execution backend
+  (:mod:`repro.parallel.backend.process`): the parent allocates the
+  density / Schwarz / per-rank Fock blocks once and every worker
+  process maps the same physical pages.
+* :class:`WriteTracker` — the simulated-backend race detector.  The
+  paper's central correctness argument for the shared-Fock algorithm
+  is that, within one OpenMP region between barriers, no two threads
+  ever write the same Fock element: the direct ``F(k,l)`` updates touch
+  disjoint ``(k,l)`` blocks because each ``kl`` iteration belongs to
+  one thread, and the buffer flushes are row-partitioned.  The tracker
+  turns that argument into a checkable invariant: algorithms report
+  every shared write as ``(phase, thread, flat element indices)`` and
+  the tracker raises :class:`RaceError` (or records the conflict) when
+  two different threads write one element inside the same
+  synchronization phase.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 
 import numpy as np
+
+
+class SharedNDArray:
+    """A numpy array backed by a named ``SharedMemory`` block.
+
+    Created by the parent process (``create=True``); worker processes
+    either inherit the object through ``fork`` (the mapping survives
+    the fork, no reattach needed) or attach by name with
+    ``SharedNDArray(name=..., shape=..., dtype=...)``.
+
+    The parent owns the block's lifetime: call :meth:`close` with
+    ``unlink=True`` exactly once when the backend shuts down.  Views
+    handed out by :attr:`array` stay valid until then.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype | str = np.float64,
+        *,
+        name: str | None = None,
+        create: bool = True,
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        else:
+            if name is None:
+                raise ValueError("attaching to an existing block needs a name")
+            self._shm = shared_memory.SharedMemory(name=name)
+        self._owner = create
+        self.array = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=self._shm.buf
+        )
+        if create:
+            self.array.fill(0)
+
+    @property
+    def name(self) -> str:
+        """OS name of the backing block (for attach-by-name workers)."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    def fill(self, value: float) -> None:
+        self.array.fill(value)
+
+    def close(self, *, unlink: bool | None = None) -> None:
+        """Release the mapping; the creating process also unlinks."""
+        self.array = None  # drop the exported view before unmapping
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external views
+            pass
+        if unlink if unlink is not None else self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
 
 class RaceError(RuntimeError):

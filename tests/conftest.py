@@ -1,12 +1,80 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the per-test timeout harness.
+
+Multi-process tests (marker ``process``) get a hard per-test wall-clock
+limit of :data:`PROCESS_TIMEOUT_S` seconds so a wedged worker or a lost
+queue message fails the test instead of hanging the suite.  When
+``pytest-timeout`` is installed it enforces the limit; otherwise a
+SIGALRM-based fallback in :func:`pytest_runtest_call` does (POSIX only
+— on platforms without ``SIGALRM`` the limit is simply not enforced).
+"""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
 
 from repro.chem.basis import BasisSet
 from repro.chem.molecule import hydrogen_molecule, methane, water
+
+#: Per-test wall-clock limit for ``process``-marked tests, seconds.
+PROCESS_TIMEOUT_S = 120
+
+
+def _timeout_seconds(item) -> int | None:
+    """The effective per-test limit: explicit marker, or the process default."""
+    marker = item.get_closest_marker("timeout")
+    if marker is not None:
+        if marker.args:
+            return int(marker.args[0])
+        if "timeout" in marker.kwargs:
+            return int(marker.kwargs["timeout"])
+    if item.get_closest_marker("process") is not None:
+        return PROCESS_TIMEOUT_S
+    return None
+
+
+def pytest_collection_modifyitems(config, items):
+    """Give every ``process`` test an explicit timeout marker.
+
+    With ``pytest-timeout`` installed the plugin reads the marker; the
+    SIGALRM fallback below reads it too, so both paths agree on the
+    limit.
+    """
+    for item in items:
+        if (
+            item.get_closest_marker("process") is not None
+            and item.get_closest_marker("timeout") is None
+        ):
+            item.add_marker(pytest.mark.timeout(PROCESS_TIMEOUT_S))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback when ``pytest-timeout`` is unavailable."""
+    limit = _timeout_seconds(item)
+    if (
+        limit is None
+        or item.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit} s wall-clock limit "
+            "(SIGALRM fallback; install pytest-timeout for richer output)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(limit)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +99,15 @@ def h2_631g() -> BasisSet:
 def methane_sto3g() -> BasisSet:
     """Methane in STO-3G: more shells, includes carbon L shell."""
     return BasisSet(methane(), "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def graphene_sto3g() -> BasisSet:
+    """Tiny bilayer-graphene patch (4 C) in STO-3G: the parity suite's
+    'not water' fixture — more shells, heavier screening structure."""
+    from repro.chem.graphene import bilayer_graphene
+
+    return BasisSet(bilayer_graphene(2), "sto-3g")
 
 
 @pytest.fixture(scope="session")

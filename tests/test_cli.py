@@ -253,3 +253,99 @@ def test_timeline_command_count_mismatch(tmp_path, capsys):
                "--events", str(spans)])
     assert rc == 2
     assert "counts must match" in capsys.readouterr().err
+
+
+# -- execution backends -------------------------------------------------------
+
+
+@pytest.mark.parametrize("argv", [
+    ["--workers", "0"],
+    ["--workers", "-2"],
+    ["--workers", "many"],
+    ["--backend", "threads"],
+])
+def test_backend_flag_validation(water_xyz, argv):
+    """Bad backend geometry is an argparse error (exit code 2)."""
+    with pytest.raises(SystemExit) as exc:
+        main(["scf", str(water_xyz), *argv])
+    assert exc.value.code == 2
+
+
+def test_sim_backend_ignores_workers_with_warning(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--backend", "sim", "--workers", "8",
+               "--ranks", "2"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "--workers is ignored by the sim backend" in captured.err
+    # The warning is advisory: the run proceeds on the sim backend.
+    assert "-74.94207995" in captured.out
+
+
+def test_uhf_rejects_process_backend(tmp_path, capsys):
+    xyz = tmp_path / "h.xyz"
+    xyz.write_text("1\nhydrogen atom\nH 0.0 0.0 0.0\n")
+    rc = main(["scf", str(xyz), "--uhf", "--multiplicity", "2",
+               "--backend", "process", "--workers", "2"])
+    assert rc == 2
+    assert "not supported with --uhf" in capsys.readouterr().err
+
+
+@pytest.mark.process
+def test_scf_process_backend_runs(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--backend", "process",
+               "--workers", "2", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "backend      : process (2 worker process(es))" in out
+    assert "-74.94207995" in out
+
+
+@pytest.mark.process
+def test_scf_process_backend_schedule_seed(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--backend", "process",
+               "--workers", "2", "--schedule-seed", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-74.94207995" in out
+
+
+def test_process_backend_rejects_bad_worker_geometry():
+    """The typed error for a geometry the backend itself cannot serve."""
+    from repro.parallel.backend.process import (
+        ProcessBackend,
+        WorkerGeometryError,
+    )
+    from repro.chem.basis import BasisSet
+    from repro.core.scf_driver import make_fock_builder
+    from repro.integrals.onee import core_hamiltonian
+
+    basis = BasisSet(water(), "sto-3g")
+    builder = make_fock_builder(
+        "shared-fock", basis, core_hamiltonian(basis), nranks=3, nthreads=1
+    )
+    with ProcessBackend(workers=2) as be:
+        with pytest.raises(WorkerGeometryError):
+            be.wrap_builder(builder)
+
+
+@pytest.mark.process
+def test_profile_process_backend_merged_trace(tmp_path, capsys):
+    out_dir = tmp_path / "prof"
+    rc = main(["profile", "--algorithm", "shared-fock",
+               "--backend", "process", "--workers", "2", "--threads", "2",
+               "--output-dir", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[process backend]" in out
+    merged = out_dir / "merged_trace.json"
+    assert merged.exists()
+    import json
+
+    events = json.loads(merged.read_text())["traceEvents"]
+    names = {e.get("pid") for e in events if "pid" in e} | {
+        e["args"]["name"] for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    # Driver track plus one track per worker in one merged trace.
+    assert any("driver" in str(n) for n in names)
+    assert any("workers" in str(n) for n in names)

@@ -1,0 +1,182 @@
+"""Property tests for grant accounting and reduction invariance.
+
+Hypothesis drives the two contracts the differential parity suite
+leans on:
+
+* **exactly-once grants** — however rank draws interleave, and whatever
+  the grant policy, the :class:`~repro.parallel.dlb.DynamicLoadBalancer`
+  serves every task index exactly once; this holds through
+  ``fail_rank`` requeue replay, and equally for the process backend's
+  :class:`~repro.parallel.backend.SharedTaskCounter`.
+* **permutation invariance** — reordering thread columns moves the tree
+  reduction by at most
+  :data:`~repro.parallel.reduction.PERMUTATION_TOLERANCE` (relative),
+  which is why a nondeterministic process-backend partition still
+  reproduces the sim energy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.parallel.backend import SharedTaskCounter  # noqa: E402
+from repro.parallel.dlb import DynamicLoadBalancer  # noqa: E402
+from repro.parallel.reduction import (  # noqa: E402
+    PERMUTATION_TOLERANCE,
+    padded_rows,
+    tree_reduce_columns,
+)
+
+#: Shared-memory examples are heavier than pure-python ones; keep the
+#: example budget modest and disable the per-example deadline (CI
+#: machines stall unpredictably on shm setup).
+COMMON = dict(deadline=None)
+
+
+def _drain_interleaved(data, serve, nranks, alive=None):
+    """Draw from ``serve(rank)`` in a hypothesis-chosen interleaving
+    until every live rank is exhausted; returns the granted indices."""
+    granted: list[int] = []
+    live = set(range(nranks)) if alive is None else set(alive)
+    exhausted: set[int] = set()
+    while live - exhausted:
+        rank = data.draw(
+            st.sampled_from(sorted(live - exhausted)), label="rank"
+        )
+        t = serve(rank)
+        if t is None:
+            exhausted.add(rank)
+        else:
+            granted.append(t)
+    return granted
+
+
+@settings(max_examples=50, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=0, max_value=40),
+    nranks=st.integers(min_value=1, max_value=6),
+    policy=st.sampled_from(["round_robin", "block", "cost_greedy"]),
+)
+def test_dlb_grants_each_index_exactly_once(data, ntasks, nranks, policy):
+    costs = None
+    if policy == "cost_greedy":
+        costs = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0.01, 100.0, allow_nan=False),
+                    min_size=ntasks, max_size=ntasks,
+                ),
+                label="costs",
+            )
+        )
+    dlb = DynamicLoadBalancer(ntasks, nranks, policy=policy, costs=costs)
+    granted = _drain_interleaved(data, dlb.next, nranks)
+    assert Counter(granted) == Counter(range(ntasks))
+
+
+@settings(max_examples=50, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=1, max_value=40),
+    nranks=st.integers(min_value=2, max_value=6),
+)
+def test_dlb_exactly_once_through_fail_rank_requeue(data, ntasks, nranks):
+    """Kill one rank mid-draw with requeue: its outstanding grants move
+    to survivors, and the union of everything ever granted is still each
+    index exactly once (completed work is not re-granted)."""
+    dlb = DynamicLoadBalancer(ntasks, nranks, policy="round_robin")
+    victim = data.draw(st.integers(0, nranks - 1), label="victim")
+
+    # Random prefix of interleaved draws before the failure.
+    prefix: list[int] = []
+    for _ in range(data.draw(st.integers(0, ntasks), label="ndraws")):
+        rank = data.draw(st.integers(0, nranks - 1), label="rank")
+        t = dlb.next(rank)
+        if t is not None:
+            prefix.append(t)
+
+    withdrawn = dlb.fail_rank(victim, requeue=True)
+    assert set(withdrawn).isdisjoint(prefix)
+
+    survivors = [r for r in range(nranks) if r != victim]
+    rest = _drain_interleaved(data, dlb.next, nranks, alive=survivors)
+    assert dlb.next(victim) is None  # dead ranks draw nothing
+    assert Counter(prefix + rest) == Counter(range(ntasks))
+
+
+@settings(max_examples=50, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=1, max_value=40),
+    nranks=st.integers(min_value=2, max_value=6),
+)
+def test_dlb_fail_without_requeue_returns_grant_order(data, ntasks, nranks):
+    """``requeue=False`` hands the withdrawn tasks back in grant order —
+    the property the Fock builders' bitwise-identical replay rests on."""
+    dlb = DynamicLoadBalancer(ntasks, nranks, policy="round_robin")
+    victim = data.draw(st.integers(0, nranks - 1), label="victim")
+    expected = dlb.assignment()[victim]
+    npre = data.draw(st.integers(0, len(expected)), label="npre")
+    drawn = [dlb.next(victim) for _ in range(npre)]
+    withdrawn = dlb.fail_rank(victim, requeue=False)
+    assert drawn + withdrawn == expected
+    # Nobody else ever sees those indices again.
+    survivors = [r for r in range(nranks) if r != victim]
+    rest = _drain_interleaved(data, dlb.next, nranks, alive=survivors)
+    assert set(rest).isdisjoint(withdrawn)
+
+
+@settings(max_examples=15, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=0, max_value=30),
+    nranks=st.integers(min_value=1, max_value=4),
+)
+def test_shared_counter_exactly_once(data, ntasks, nranks):
+    """The process backend's shared counter is a true ``dlbnext``: any
+    interleaving of claims serves each index exactly once, and the owner
+    board partitions the index space."""
+    counter = SharedTaskCounter(max(ntasks, 1))
+    try:
+        counter.reset(ntasks)
+        granted = _drain_interleaved(data, counter.next, nranks)
+        assert Counter(granted) == Counter(range(ntasks))
+        assert counter.claimed() == ntasks
+        owned = [counter.owned(r) for r in range(nranks)]
+        assert sorted(t for ts in owned for t in ts) == list(range(ntasks))
+        # Owned lists ascend: claim order == index order per rank, the
+        # property the parent-side kill replay depends on.
+        for ts in owned:
+            assert ts == sorted(ts)
+    finally:
+        counter.close()
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    data=st.data(),
+    nrows=st.integers(min_value=1, max_value=48),
+    nthreads=st.integers(min_value=1, max_value=8),
+)
+def test_tree_reduce_permutation_invariance(data, nrows, nthreads):
+    """Reordering thread columns moves the tree-reduced sum by at most
+    the documented PERMUTATION_TOLERANCE (relative)."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31), label="seed"))
+    buf = np.zeros((padded_rows(nrows), nthreads))
+    buf[:nrows] = rng.standard_normal((nrows, nthreads)) * 10.0 ** rng.integers(
+        -3, 4
+    )
+    perm = data.draw(st.permutations(range(nthreads)), label="perm")
+
+    base = tree_reduce_columns(buf, nrows)
+    shuffled = tree_reduce_columns(buf[:, perm], nrows)
+
+    scale = max(np.max(np.abs(base)), 1.0)
+    assert np.max(np.abs(shuffled - base)) <= PERMUTATION_TOLERANCE * scale
