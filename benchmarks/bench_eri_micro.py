@@ -202,10 +202,66 @@ def _default_output(backend: str) -> Path:
     return Path(__file__).parent / "results" / name
 
 
+def _bench_obs_setup(args, output: Path):
+    """Register the bench run and (optionally) install live telemetry.
+
+    Returns ``(handle, channel, sink)``; any of them may be ``None``.
+    The registry record makes benchmark runs diffable through
+    ``repro runs diff`` like any SCF, and ``--telemetry`` measures the
+    bus's overhead on the hot path (the CI gate holds it under the
+    compare tolerance).
+    """
+    from repro.obs.registry import RunRegistry
+
+    handle = None
+    if not args.no_registry:
+        handle = RunRegistry(args.runs_dir).register(
+            "bench",
+            config={
+                "name": "bench_eri_micro",
+                "backend": args.backend,
+                "workers": args.workers,
+                "repeats": args.repeats,
+                "telemetry": args.telemetry,
+                "output": str(output),
+            },
+        )
+    channel = sink = None
+    if args.telemetry:
+        from repro.obs.telemetry import (
+            NDJSONTelemetrySink,
+            TelemetryChannel,
+            default_socket_path,
+            set_telemetry,
+        )
+
+        channel = TelemetryChannel()
+        if handle is not None:
+            sink = NDJSONTelemetrySink(handle.path("telemetry.ndjson"))
+            channel.subscribe(sink)
+            channel.serve(default_socket_path(handle.directory))
+        set_telemetry(channel)
+    return handle, channel, sink
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="install a live telemetry channel for the measured section "
+             "(the overhead benchmark: results must stay within the "
+             "compare gate's tolerance of a bare run)",
+    )
+    parser.add_argument(
+        "--no-registry", action="store_true",
+        help="do not record this benchmark in the persistent run registry",
+    )
+    parser.add_argument(
+        "--runs-dir", type=Path, default=None,
+        help="run registry root (default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
     parser.add_argument(
         "--backend", choices=("kernel", "process"), default="kernel",
         help="'kernel' (default) benchmarks the ERI hot path; 'process' "
@@ -227,7 +283,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     output = args.output or _default_output(args.backend)
+    handle, channel, sink = _bench_obs_setup(args, output)
+    try:
+        rc, record = _bench_run(args, output)
+    finally:
+        if channel is not None:
+            from repro.obs.telemetry import set_telemetry
 
+            set_telemetry(None)
+            channel.close()
+        if sink is not None:
+            sink.close()
+    if handle is not None:
+        handle.add_artifact("record", output)
+        handle.finalize(
+            status="done" if rc == 0 else "failed",
+            metrics={
+                k: v for k, v in record.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            },
+            summary={"name": record.get("name"), "check_ok": rc == 0},
+        )
+    return rc
+
+
+def _bench_run(args, output: Path) -> tuple[int, dict]:
     if args.backend == "process":
         import os
 
@@ -253,8 +333,8 @@ def main(argv: list[str] | None = None) -> int:
                 print("(cpu_count < 2: speedup gate skipped)")
             if not ok:
                 print("CHECK FAILED", file=sys.stderr)
-                return 1
-        return 0
+                return 1, record
+        return 0, record
 
     record = run(output, repeats=args.repeats)
     print(f"fixture                : {record['fixture']}")
@@ -276,8 +356,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         if not ok:
             print("CHECK FAILED", file=sys.stderr)
-            return 1
-    return 0
+            return 1, record
+    return 0, record
 
 
 if __name__ == "__main__":

@@ -14,17 +14,32 @@ Commands
 ``compare``    Diff two or more benchmark/metric records under a noise
                tolerance; exits nonzero on regressions (the CI
                ``bench-regress`` gate).
+``monitor``    Attach to a running SCF's live telemetry socket (or
+               replay a recorded ``telemetry.ndjson``) and render the
+               per-rank activity / convergence / worker-health
+               dashboard.
+``runs``       Query the persistent run registry (``.repro/runs``):
+               list runs, show one run's record, or diff two runs'
+               final metrics through the comparison engine.
 ``dataset``    Describe one of the paper's graphene datasets (sizes,
                screening statistics).
 ``simulate``   Predict the Fock-build time of one run configuration.
 ``reproduce``  Regenerate a paper table or figure.
+
+Every command accepts ``--log-level`` / ``--quiet`` (before or after
+the subcommand name): diagnostics go to stderr via :mod:`logging`,
+primary results stay on stdout, so piped output remains parseable.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from pathlib import Path
+
+logger = logging.getLogger("repro.cli")
 
 ALGORITHMS = ("mpi-only", "private-fock", "shared-fock")
 BACKENDS = ("sim", "process")
@@ -115,6 +130,47 @@ def _add_resilience_args(
         )
 
 
+def _add_logging_args(p: argparse.ArgumentParser, *, top: bool = False) -> None:
+    """``--log-level`` / ``--quiet``, accepted before or after the command.
+
+    The root parser carries the defaults; subparsers use
+    ``argparse.SUPPRESS`` so an unset subcommand-level flag leaves the
+    root value in the namespace instead of clobbering it.
+    """
+    from repro.obs.logctl import LEVELS
+
+    p.add_argument(
+        "--log-level", choices=LEVELS,
+        **({"default": "warning"} if top else {"default": argparse.SUPPRESS}),
+        help="diagnostic verbosity on stderr (default: warning); stdout "
+             "output is unaffected",
+    )
+    p.add_argument(
+        "--quiet", "-q", action="store_true",
+        **({} if top else {"default": argparse.SUPPRESS}),
+        help="suppress informational output: only primary results on "
+             "stdout, only errors on stderr",
+    )
+
+
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    """Run-registry / live-telemetry knobs shared by ``scf``/``profile``."""
+    sub.add_argument(
+        "--telemetry", action="store_true",
+        help="publish live telemetry (worker heartbeats, SCF cycles, "
+             "metric snapshots) to the run directory's NDJSON sink and a "
+             "unix socket 'repro monitor' can attach to mid-run",
+    )
+    sub.add_argument(
+        "--no-registry", action="store_true",
+        help="do not record this run in the persistent run registry",
+    )
+    sub.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root (default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+
+
 def _add_backend_args(sub: argparse.ArgumentParser) -> None:
     """Execution-backend knobs shared by ``scf`` and ``profile``."""
     sub.add_argument(
@@ -135,6 +191,20 @@ def _add_backend_args(sub: argparse.ArgumentParser) -> None:
              "claim arrival order for nondeterminism hunting (results "
              "must not change; the parity suite sweeps several seeds)",
     )
+    sub.add_argument(
+        "--heartbeat-interval", type=_positive_float, default=None,
+        metavar="S",
+        help="process-backend worker heartbeat rate limit in seconds "
+             "(default: 0.25); workers beat in-band at DLB claim "
+             "boundaries",
+    )
+    sub.add_argument(
+        "--heartbeat-timeout", type=_positive_float, default=None,
+        metavar="S",
+        help="seconds of heartbeat silence before a pending worker is "
+             "flagged suspect and a worker.hung event fires "
+             "(default: 2.0)",
+    )
 
 
 def _backend_setup(args: argparse.Namespace) -> tuple[str, int, dict]:
@@ -147,16 +217,19 @@ def _backend_setup(args: argparse.Namespace) -> tuple[str, int, dict]:
     workers = getattr(args, "workers", None)
     if args.backend == "sim":
         if workers is not None:
-            print(
-                "warning: --workers is ignored by the sim backend "
-                "(use --ranks, or --backend process)",
-                file=sys.stderr,
+            logger.warning(
+                "--workers is ignored by the sim backend "
+                "(use --ranks, or --backend process)"
             )
         return "sim", args.ranks, {}
     nranks = workers if workers is not None else args.ranks
     options: dict = {}
     if getattr(args, "schedule_seed", None) is not None:
         options["schedule_seed"] = args.schedule_seed
+    if getattr(args, "heartbeat_interval", None) is not None:
+        options["heartbeat_interval_s"] = args.heartbeat_interval
+    if getattr(args, "heartbeat_timeout", None) is not None:
+        options["heartbeat_timeout_s"] = args.heartbeat_timeout
     return "process", nranks, options
 
 
@@ -175,11 +248,172 @@ def _cache_mb(args: argparse.Namespace) -> float | None:
     return None if args.no_eri_cache else args.eri_cache_mb
 
 
+class _ObsSession:
+    """Run-registry record plus (optional) live telemetry for one run.
+
+    Owns the whole observability envelope of a ``scf`` / ``profile``
+    invocation: registers the run (unless ``--no-registry``), streams
+    the event log incrementally into the run directory, and — with
+    ``--telemetry`` — installs a global
+    :class:`~repro.obs.telemetry.TelemetryChannel` with an NDJSON sink
+    and a unix socket ``repro monitor`` can attach to mid-run.
+    ``finalize`` writes the final metrics snapshot (JSON + Prometheus
+    text) and closes the record; everything degrades to no-ops when the
+    registry or telemetry is off.
+    """
+
+    def __init__(
+        self,
+        args: argparse.Namespace,
+        kind: str,
+        config: dict,
+        *,
+        log=None,
+        metrics=None,
+    ) -> None:
+        from repro.obs import (
+            EventLog,
+            MetricsRegistry,
+            NDJSONTelemetrySink,
+            ObsStreamer,
+            RunRegistry,
+            TelemetryChannel,
+            default_socket_path,
+        )
+        from repro.obs.events import get_event_log, set_event_log
+        from repro.obs.metrics import get_metrics, set_metrics
+        from repro.obs.telemetry import get_telemetry, set_telemetry
+
+        self.handle = None
+        self.channel = None
+        self._sink = None
+        self._streamer = None
+        self._finalized = False
+        self._restore: list = []
+
+        if not getattr(args, "no_registry", False):
+            registry = RunRegistry(getattr(args, "runs_dir", None))
+            self.handle = registry.register(kind, config=config)
+
+        # scf runs without instruments otherwise; install an event log
+        # + metrics registry so heartbeat/recovery events have a home.
+        if log is None:
+            log = EventLog()
+            self._restore.append((set_event_log, get_event_log()))
+            set_event_log(log)
+        if metrics is None:
+            metrics = MetricsRegistry()
+            self._restore.append((set_metrics, get_metrics()))
+            set_metrics(metrics)
+        self.log = log
+        self.metrics = metrics
+
+        if self.handle is not None:
+            # Incremental: each event is durable the moment it is
+            # emitted, so a crashed run still leaves its event trail.
+            self._streamer = ObsStreamer(self.handle.directory, log=log)
+
+        if getattr(args, "telemetry", False):
+            self.channel = TelemetryChannel()
+            if self.handle is not None:
+                self._sink = NDJSONTelemetrySink(
+                    self.handle.path("telemetry.ndjson")
+                )
+                self.channel.subscribe(self._sink)
+                sock = self.channel.serve(
+                    default_socket_path(self.handle.directory)
+                )
+            else:
+                import tempfile
+
+                import os as _os
+
+                sock = self.channel.serve(
+                    Path(tempfile.gettempdir())
+                    / f"repro-telemetry-{_os.getpid()}.sock"
+                )
+            self._restore.append((set_telemetry, get_telemetry()))
+            set_telemetry(self.channel)
+            if sock is not None:
+                logger.info("telemetry socket: %s", sock)
+
+    @property
+    def run_dir(self) -> Path | None:
+        return self.handle.directory if self.handle is not None else None
+
+    def announce(self) -> None:
+        """Print the run id / socket for interactive use (quiet-gated)."""
+        from repro.obs.logctl import quiet_enabled
+
+        if quiet_enabled():
+            return
+        if self.handle is not None:
+            print(f"run id       : {self.handle.run_id}")
+        if self.channel is not None and self.channel.socket_path is not None:
+            print(f"telemetry    : repro monitor {self.channel.socket_path}")
+
+    def finalize(self, *, status: str, summary: dict | None = None) -> None:
+        """Write the final snapshot and close the run record."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.handle is not None:
+            from repro.obs import write_prometheus
+
+            counts: dict[str, int] = {}
+            for ev in self.log:
+                counts[ev.kind] = counts.get(ev.kind, 0) + 1
+            snapshot = {
+                k: v
+                for k, v in self.metrics.snapshot().items()
+                if isinstance(v, (int, float, dict, list))
+            }
+            if summary:
+                snapshot.update(
+                    {f"summary.{k}": v for k, v in summary.items()
+                     if isinstance(v, (int, float))}
+                )
+            try:
+                write_prometheus(
+                    self.metrics, self.handle.path("metrics.prom")
+                )
+                self.handle.add_artifact(
+                    "metrics.prom", self.handle.path("metrics.prom")
+                )
+            except OSError as exc:  # pragma: no cover - fs failure path
+                logger.warning("prometheus export failed: %s", exc)
+            for name in ("events.ndjson", "telemetry.ndjson"):
+                if self.handle.path(name).exists():
+                    self.handle.add_artifact(name, self.handle.path(name))
+            self.handle.finalize(
+                status=status, metrics=snapshot, summary=summary,
+                event_counts=counts,
+            )
+
+    def close(self) -> None:
+        """Tear down telemetry/streams and restore the global instruments."""
+        if not self._finalized:
+            self.finalize(status="failed")
+        if self.channel is not None:
+            self.channel.close()
+            self.channel = None
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+        if self._streamer is not None:
+            self._streamer.close()
+            self._streamer = None
+        for setter, previous in reversed(self._restore):
+            setter(previous)
+        self._restore.clear()
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="MPI/OpenMP parallel Hartree-Fock (SC'17 reproduction)",
     )
+    _add_logging_args(p, top=True)
     sub = p.add_subparsers(dest="command", required=True)
 
     scf = sub.add_parser("scf", help="run an SCF calculation")
@@ -194,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_args(scf)
     _add_cache_args(scf)
     _add_resilience_args(scf, restartable=True)
+    _add_obs_args(scf)
 
     prof = sub.add_parser(
         "profile",
@@ -222,6 +457,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_args(prof)
     _add_cache_args(prof)
     _add_resilience_args(prof, restartable=False)
+    _add_obs_args(prof)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="live dashboard over a running SCF's telemetry socket, or "
+             "a replay of a recorded telemetry.ndjson",
+    )
+    mon.add_argument(
+        "source", nargs="?", default="latest", metavar="SOURCE",
+        help="a telemetry socket path, a telemetry.ndjson file, a run-id "
+             "prefix from the registry, or 'latest' (default)",
+    )
+    mon.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root used to resolve run ids "
+             "(default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    mon.add_argument(
+        "--interval", type=_positive_float, default=0.5, metavar="S",
+        help="refresh interval in seconds (default: 0.5)",
+    )
+    mon.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no refresh loop)",
+    )
+    mon.add_argument(
+        "--plain", action="store_true",
+        help="append frames instead of clearing the screen (for logs "
+             "and non-ANSI terminals)",
+    )
+
+    runs = sub.add_parser(
+        "runs", help="query the persistent run registry",
+    )
+    runs.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root (default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="table of all registered runs")
+    runs_show = runs_sub.add_parser(
+        "show", help="full record of one run (id prefix or 'latest')",
+    )
+    runs_show.add_argument(
+        "run", nargs="?", default="latest", metavar="RUN",
+        help="run-id prefix, or 'latest' (default)",
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="diff two runs' final metrics through the comparison "
+             "engine; exits 1 on regressions",
+    )
+    runs_diff.add_argument(
+        "baseline", metavar="BASELINE",
+        help="baseline run-id prefix (or 'latest')",
+    )
+    runs_diff.add_argument(
+        "candidate", metavar="CANDIDATE",
+        help="candidate run-id prefix (or 'latest')",
+    )
+    runs_diff.add_argument(
+        "--tolerance", type=_nonneg_float, default=0.05, metavar="REL",
+        help="relative change treated as noise (default: 0.05 = ±5%%)",
+    )
+    runs_diff.add_argument(
+        "--abs-tolerance", type=_nonneg_float, default=1e-9, metavar="ABS",
+        help="absolute change treated as noise (default: 1e-9)",
+    )
+    runs_diff.add_argument(
+        "--ignore", action="append", default=[], metavar="GLOB",
+        help="skip keys matching this glob (repeatable), e.g. '*wall_s'",
+    )
 
     tl = sub.add_parser(
         "timeline",
@@ -308,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     rep.add_argument("target", choices=TARGETS)
+
+    # --log-level/--quiet are accepted after the (sub)command too.
+    for parser in [*sub.choices.values(), *runs_sub.choices.values()]:
+        _add_logging_args(parser)
     return p
 
 
@@ -321,17 +632,20 @@ def cmd_scf(args: argparse.Namespace) -> int:
         SCFConvergenceError,
     )
 
+    from repro.obs.logctl import quiet_enabled
+
     mol = Molecule.from_xyz(args.xyz.read_text(), charge=args.charge)
     basis = BasisSet(mol, args.basis)
-    print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis functions, "
-          f"{basis.nshells} shells ({args.basis})")
+    if not quiet_enabled():
+        print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis "
+              f"functions, {basis.nshells} shells ({args.basis})")
 
     backend, nranks, backend_options = _backend_setup(args)
     if args.uhf and backend != "sim":
         print("error: --backend process is not supported with --uhf",
               file=sys.stderr)
         return 2
-    if backend == "process":
+    if backend == "process" and not quiet_enabled():
         print(f"backend      : process ({nranks} worker process(es))")
 
     try:
@@ -349,88 +663,122 @@ def cmd_scf(args: argparse.Namespace) -> int:
         recovery=True if args.scf_recovery else None,
     )
 
-    if args.uhf:
-        from repro.core.fock_uhf import UHFPrivateFockBuilder
-        from repro.integrals.onee import kinetic_matrix, nuclear_matrix
-        from repro.scf.uhf import UHF
+    obs = _ObsSession(
+        args, "scf",
+        {
+            "molecule": mol.name,
+            "basis": args.basis,
+            "algorithm": args.algorithm,
+            "method": "uhf" if args.uhf else "rhf",
+            "nranks": nranks,
+            "nthreads": args.threads,
+            "backend": backend,
+            "fault_plan": args.fault_plan,
+        },
+    )
+    if (
+        backend == "process"
+        and getattr(args, "telemetry", False)
+        and obs.run_dir is not None
+    ):
+        # Worker spans/events stream into the run directory too, so the
+        # registry's record of a chaos run includes the killed workers'
+        # last completed spans.
+        backend_options["obs_dir"] = obs.run_dir / "workers"
+    obs.announce()
+    try:
+        if args.uhf:
+            from repro.core.fock_uhf import UHFPrivateFockBuilder
+            from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+            from repro.scf.uhf import UHF
 
-        h = kinetic_matrix(basis) + nuclear_matrix(basis)
-        builder = UHFPrivateFockBuilder(
-            basis, h, nranks=args.ranks, nthreads=args.threads,
-            eri_cache_mb=_cache_mb(args), fault_plan=plan,
-        )
+            h = kinetic_matrix(basis) + nuclear_matrix(basis)
+            builder = UHFPrivateFockBuilder(
+                basis, h, nranks=args.ranks, nthreads=args.threads,
+                eri_cache_mb=_cache_mb(args), fault_plan=plan,
+            )
+            try:
+                res = UHF(basis, multiplicity=args.multiplicity,
+                          fock_builder=builder).run(**run_kwargs)
+            except SCFConvergenceError as exc:
+                print(f"SCF failed: {exc}", file=sys.stderr)
+                return 1
+            except ResilienceError as exc:
+                print(f"unrecoverable fault: {exc}", file=sys.stderr)
+                return 3
+            print(f"UHF energy   : {res.energy:.10f} Eh "
+                  f"(converged={res.converged}, {res.niterations} "
+                  f"iterations)")
+            print(f"<S^2>        : {res.s_squared:.6f}")
+            if manager is not None and not quiet_enabled():
+                print(f"checkpoints  : {manager.writes} written -> "
+                      f"{args.checkpoint}")
+            obs.finalize(
+                status="done" if res.converged else "unconverged",
+                summary={
+                    "energy": res.energy,
+                    "converged": res.converged,
+                    "iterations": res.niterations,
+                },
+            )
+            return 0 if res.converged else 1
+
+        from repro.core.scf_driver import ParallelSCF
+
         try:
-            res = UHF(basis, multiplicity=args.multiplicity,
-                      fock_builder=builder).run(**run_kwargs)
+            with ParallelSCF(
+                basis, args.algorithm, nranks=nranks, nthreads=args.threads,
+                backend=backend, backend_options=backend_options,
+                eri_cache_mb=_cache_mb(args), fault_plan=plan,
+            ) as scf:
+                res = scf.run(**run_kwargs)
         except SCFConvergenceError as exc:
             print(f"SCF failed: {exc}", file=sys.stderr)
             return 1
         except ResilienceError as exc:
             print(f"unrecoverable fault: {exc}", file=sys.stderr)
             return 3
-        print(f"UHF energy   : {res.energy:.10f} Eh "
-              f"(converged={res.converged}, {res.niterations} iterations)")
-        print(f"<S^2>        : {res.s_squared:.6f}")
-        if manager is not None:
-            print(f"checkpoints  : {manager.writes} written -> "
-                  f"{args.checkpoint}")
+        print(f"RHF energy   : {res.energy:.10f} Eh "
+              f"(converged={res.converged}, {res.scf.niterations} "
+              f"iterations)")
+        stats = res.fock_stats[-1]
+        if not quiet_enabled():
+            print(f"Fock build   : {stats.quartets_computed} quartets, "
+                  f"{stats.quartets_screened} screened, algorithm "
+                  f"{stats.algorithm}, {stats.nranks} ranks x "
+                  f"{stats.nthreads} threads")
+            if not args.no_eri_cache:
+                hits = sum(s.eri_cache_hits for s in res.fock_stats)
+                misses = sum(s.eri_cache_misses for s in res.fock_stats)
+                total = hits + misses
+                rate = 100.0 * hits / total if total else 0.0
+                print(f"ERI cache    : {hits} hits / {misses} misses "
+                      f"({rate:.1f}% hit rate, last cycle "
+                      f"{100.0 * stats.eri_cache_hit_rate:.1f}%)")
+            if manager is not None:
+                print(f"checkpoints  : {manager.writes} written -> "
+                      f"{args.checkpoint}")
+        obs.finalize(
+            status="done" if res.converged else "unconverged",
+            summary={
+                "energy": res.energy,
+                "converged": res.converged,
+                "iterations": res.scf.niterations,
+                "quartets_computed": res.total_quartets_computed,
+                "rank_imbalance": res.rank_imbalance,
+            },
+        )
         return 0 if res.converged else 1
-
-    from repro.core.scf_driver import ParallelSCF
-
-    try:
-        with ParallelSCF(
-            basis, args.algorithm, nranks=nranks, nthreads=args.threads,
-            backend=backend, backend_options=backend_options,
-            eri_cache_mb=_cache_mb(args), fault_plan=plan,
-        ) as scf:
-            res = scf.run(**run_kwargs)
-    except SCFConvergenceError as exc:
-        print(f"SCF failed: {exc}", file=sys.stderr)
-        return 1
-    except ResilienceError as exc:
-        print(f"unrecoverable fault: {exc}", file=sys.stderr)
-        return 3
-    print(f"RHF energy   : {res.energy:.10f} Eh "
-          f"(converged={res.converged}, {res.scf.niterations} iterations)")
-    stats = res.fock_stats[-1]
-    print(f"Fock build   : {stats.quartets_computed} quartets, "
-          f"{stats.quartets_screened} screened, algorithm {stats.algorithm}, "
-          f"{stats.nranks} ranks x {stats.nthreads} threads")
-    if not args.no_eri_cache:
-        hits = sum(s.eri_cache_hits for s in res.fock_stats)
-        misses = sum(s.eri_cache_misses for s in res.fock_stats)
-        total = hits + misses
-        rate = 100.0 * hits / total if total else 0.0
-        print(f"ERI cache    : {hits} hits / {misses} misses "
-              f"({rate:.1f}% hit rate, last cycle "
-              f"{100.0 * stats.eri_cache_hit_rate:.1f}%)")
-    if manager is not None:
-        print(f"checkpoints  : {manager.writes} written -> {args.checkpoint}")
-    return 0 if res.converged else 1
+    finally:
+        obs.close()
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    import json
-    import time
-
     from repro.chem.basis import BasisSet
     from repro.chem.molecule import Molecule, water
     from repro.core.scf_driver import ParallelSCF
-    from repro.obs import (
-        EventLog,
-        MetricsRegistry,
-        Tracer,
-        events_ndjson,
-        metrics_ndjson,
-        profile_report,
-        spans_ndjson,
-        use_event_log,
-        use_metrics,
-        use_tracer,
-        write_chrome_trace,
-        write_text,
-    )
+    from repro.obs import EventLog, MetricsRegistry, Tracer
+    from repro.obs.logctl import quiet_enabled
 
     if args.xyz is not None:
         mol = Molecule.from_xyz(args.xyz.read_text(), charge=args.charge)
@@ -439,10 +787,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     basis = BasisSet(mol, args.basis)
     nthreads = 1 if args.algorithm == "mpi-only" else args.threads
     backend, nranks, backend_options = _backend_setup(args)
-    print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis functions, "
-          f"{basis.nshells} shells ({args.basis})")
-    print(f"profiling {args.algorithm} on {nranks} rank(s) x "
-          f"{nthreads} thread(s) [{backend} backend]")
+    if not quiet_enabled():
+        print(f"{mol.name}: {mol.natoms} atoms, {basis.nbf} basis "
+              f"functions, {basis.nshells} shells ({args.basis})")
+        print(f"profiling {args.algorithm} on {nranks} rank(s) x "
+              f"{nthreads} thread(s) [{backend} backend]")
 
     from repro.resilience import (
         FaultSpecError,
@@ -472,6 +821,45 @@ def cmd_profile(args: argparse.Namespace) -> int:
     tracer = Tracer()
     registry = MetricsRegistry()
     elog = EventLog()
+    obs = _ObsSession(
+        args, "profile",
+        {
+            "molecule": mol.name,
+            "basis": args.basis,
+            "algorithm": args.algorithm,
+            "nranks": nranks,
+            "nthreads": nthreads,
+            "backend": backend,
+            "output_dir": str(args.output_dir),
+        },
+        log=elog, metrics=registry,
+    )
+    obs.announce()
+    try:
+        return _profile_run(args, scf, tracer, registry, elog, obs,
+                            backend, workers_dir)
+    finally:
+        obs.close()
+
+
+def _profile_run(args, scf, tracer, registry, elog, obs, backend,
+                 workers_dir) -> int:
+    import json
+    import time
+
+    from repro.obs import (
+        events_ndjson,
+        metrics_ndjson,
+        profile_report,
+        spans_ndjson,
+        use_event_log,
+        use_metrics,
+        use_tracer,
+        write_chrome_trace,
+        write_text,
+    )
+    from repro.resilience import ResilienceError, SCFConvergenceError
+
     with use_tracer(tracer), use_metrics(registry), use_event_log(elog):
         t0 = time.perf_counter()
         try:
@@ -551,7 +939,153 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if merged_path is not None:
         print(f"merged trace : {merged_path} (driver + per-worker spans "
               f"on one timeline)")
+    obs.finalize(
+        status="done" if res.converged else "unconverged",
+        summary={
+            "energy": res.energy,
+            "converged": res.converged,
+            "iterations": res.scf.niterations,
+            "wall_s": wall,
+            "traced_s": traced,
+            "rank_imbalance": res.rank_imbalance,
+            "thread_imbalance": res.thread_imbalance,
+        },
+    )
+    if obs.handle is not None:
+        for name, path in (
+            ("trace.json", trace_path), ("profile.txt", report_path),
+            ("spans.ndjson", spans_path), ("metrics.ndjson", metrics_path),
+        ):
+            obs.handle.add_artifact(name, path)
+        obs.handle.save()
     return 0 if res.converged else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import stat
+
+    from repro.obs.monitor import MonitorState
+    from repro.obs.registry import RunRegistry
+    from repro.obs.telemetry import TelemetryClient, records_from_ndjson
+
+    sock: Path | None = None
+    ndjson: Path | None = None
+    src = Path(args.source)
+    if src.exists():
+        if stat.S_ISSOCK(src.stat().st_mode):
+            sock = src
+        else:
+            ndjson = src
+    else:
+        registry = RunRegistry(args.runs_dir)
+        try:
+            run_id = registry.find(args.source)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        run_dir = registry.run_dir(run_id)
+        live = run_dir / "telemetry.sock"
+        recorded = run_dir / "telemetry.ndjson"
+        if live.exists() and stat.S_ISSOCK(live.stat().st_mode):
+            sock = live
+        elif recorded.exists():
+            ndjson = recorded
+        else:
+            print(
+                f"error: run {run_id} has no telemetry "
+                "(was it started with --telemetry?)",
+                file=sys.stderr,
+            )
+            return 2
+
+    state = MonitorState()
+    if ndjson is not None:
+        state.apply_all(records_from_ndjson(ndjson.read_text()))
+        print(state.render())
+        return 0
+
+    assert sock is not None
+    try:
+        client = TelemetryClient(sock)
+    except OSError as exc:
+        # A stale socket from a finished run: fall back to the sink file.
+        recorded = sock.parent / "telemetry.ndjson"
+        if recorded.exists():
+            logger.info("socket %s is stale (%s); replaying sink", sock, exc)
+            state.apply_all(records_from_ndjson(recorded.read_text()))
+            print(state.render())
+            return 0
+        print(f"error: cannot connect to {sock}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        while True:
+            records = client.poll(args.interval)
+            state.apply_all(records)
+            if client.eof and state.nrecords == 0:
+                # The run ended between resolving the socket and our
+                # first read (hung up before the backlog arrived):
+                # render from the recorded sink instead of an empty
+                # frame.
+                recorded = sock.parent / "telemetry.ndjson"
+                if recorded.exists():
+                    state.apply_all(
+                        records_from_ndjson(recorded.read_text())
+                    )
+            frame = state.render()
+            if not args.plain:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame, flush=True)
+            if args.once or client.eof:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.analysis.compare import compare_runs, load_run
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    if args.runs_command == "list":
+        print(registry.list_table())
+        return 0
+
+    if args.runs_command == "show":
+        try:
+            run_id = registry.find(args.run)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(registry.show(run_id))
+        return 0
+
+    # diff: hand the two runs' final metrics snapshots to the PR-4
+    # comparison engine — run-to-run diffs gate exactly like benchmarks.
+    try:
+        base_id = registry.find(args.baseline)
+        cand_id = registry.find(args.candidate)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for run_id in (base_id, cand_id):
+        if not registry.metrics_path(run_id).exists():
+            print(
+                f"error: run {run_id} has no metrics.json "
+                "(did it finish?)",
+                file=sys.stderr,
+            )
+            return 2
+    comparison = compare_runs(
+        load_run(registry.metrics_path(base_id), label=base_id),
+        load_run(registry.metrics_path(cand_id), label=cand_id),
+        tolerance=args.tolerance,
+        abs_tolerance=args.abs_tolerance,
+        ignore=args.ignore,
+    )
+    print(comparison.report())
+    return 1 if comparison.verdict == "fail" else 0
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
@@ -784,17 +1318,32 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.obs.logctl import setup_logging
+
     args = build_parser().parse_args(argv)
+    setup_logging(
+        getattr(args, "log_level", "warning"),
+        quiet=getattr(args, "quiet", False),
+    )
     handlers = {
         "scf": cmd_scf,
         "profile": cmd_profile,
+        "monitor": cmd_monitor,
+        "runs": cmd_runs,
         "timeline": cmd_timeline,
         "compare": cmd_compare,
         "dataset": cmd_dataset,
         "simulate": cmd_simulate,
         "reproduce": cmd_reproduce,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer (head, less, ...) hung up mid-print; standard
+        # CLI etiquette is a quiet exit, not a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

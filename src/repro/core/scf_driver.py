@@ -20,6 +20,8 @@ from repro.core.fock_private import PrivateFockBuilder
 from repro.core.fock_shared import SharedFockBuilder
 from repro.core.screening import Screening
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import get_telemetry
 from repro.obs.tracer import get_tracer
 from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.resilience.errors import SCFConvergenceError
@@ -145,6 +147,28 @@ class ParallelSCF:
             ):
                 F, stats = builder(D)
             self._fock_stats.append(stats)
+            channel = get_telemetry()
+            if channel is not None:
+                channel.publish(
+                    "fock.build",
+                    build=len(self._fock_stats),
+                    quartets=stats.quartets_computed,
+                    screened=stats.quartets_screened,
+                    rank_imbalance=stats.rank_imbalance,
+                )
+                registry = get_metrics()
+                if registry is not None:
+                    # Periodic registry snapshot per Fock build: the
+                    # monitor's counter rates are derived from these.
+                    channel.publish(
+                        "metrics.snapshot",
+                        build=len(self._fock_stats),
+                        counters={
+                            k: v
+                            for k, v in registry.snapshot().items()
+                            if isinstance(v, (int, float))
+                        },
+                    )
             return F, {"fock": stats}
 
         self.rhf = RHF(basis, recording_builder, criteria=criteria)
@@ -171,18 +195,43 @@ class ParallelSCF:
         callers keep the per-build statistics too.
         """
         self._fock_stats.clear()
-        with get_tracer().span(
-            "scf/run",
-            algorithm=self.algorithm,
-            nranks=self.builder.nranks,
-            nthreads=self.builder.nthreads,
-        ):
-            try:
-                result = self.rhf.run(**kwargs)
-            except SCFConvergenceError as exc:
-                if exc.result is not None:
-                    exc.result = ParallelSCFResult(
-                        scf=exc.result, fock_stats=list(self._fock_stats)
-                    )
-                raise
+        channel = get_telemetry()
+        if channel is not None:
+            channel.publish(
+                "run.start",
+                run_kind="scf",
+                algorithm=self.algorithm,
+                nranks=self.builder.nranks,
+                nthreads=self.builder.nthreads,
+                backend=self.backend.name,
+            )
+        status = "failed"
+        result = None
+        try:
+            with get_tracer().span(
+                "scf/run",
+                algorithm=self.algorithm,
+                nranks=self.builder.nranks,
+                nthreads=self.builder.nthreads,
+            ):
+                try:
+                    result = self.rhf.run(**kwargs)
+                except SCFConvergenceError as exc:
+                    if exc.result is not None:
+                        exc.result = ParallelSCFResult(
+                            scf=exc.result, fock_stats=list(self._fock_stats)
+                        )
+                    raise
+            status = "done"
+        finally:
+            if channel is not None:
+                channel.publish(
+                    "run.end",
+                    status=status,
+                    converged=(
+                        result.converged if result is not None else False
+                    ),
+                    energy=result.energy if result is not None else None,
+                    builds=len(self._fock_stats),
+                )
         return ParallelSCFResult(scf=result, fock_stats=list(self._fock_stats))

@@ -10,6 +10,14 @@ Instrumented code reads the process-global tracer/registry through
 :func:`get_tracer` / :func:`get_metrics`; both default to disabled and
 cost almost nothing until :func:`use_tracer` / :func:`use_metrics`
 (or the ``repro profile`` CLI) installs live ones.
+
+On top of the post-hoc layer sit the *live* pieces: the push-based
+telemetry bus (:mod:`repro.obs.telemetry`, installed via
+:func:`use_telemetry`), incremental NDJSON streaming
+(:mod:`repro.obs.stream`), the ``repro monitor`` dashboard state
+(:mod:`repro.obs.monitor`), the persistent run registry
+(:mod:`repro.obs.registry`), and a Prometheus text exporter
+(:func:`write_prometheus`).
 """
 
 from repro.obs.events import (
@@ -26,10 +34,12 @@ from repro.obs.export import (
     event_instants,
     metrics_ndjson,
     profile_report,
+    prometheus_text,
     spans_ndjson,
     to_chrome_trace,
     write_chrome_trace,
     write_metrics_ndjson,
+    write_prometheus,
     write_spans_ndjson,
     write_text,
 )
@@ -42,6 +52,20 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
     use_metrics,
+)
+from repro.obs.registry import RunHandle, RunRegistry, runs_root
+from repro.obs.stream import ObsStreamer
+from repro.obs.telemetry import (
+    NDJSONTelemetrySink,
+    TelemetryChannel,
+    TelemetryClient,
+    TelemetryRecord,
+    default_socket_path,
+    follow_telemetry,
+    get_telemetry,
+    records_from_ndjson,
+    set_telemetry,
+    use_telemetry,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -60,28 +84,44 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NDJSONTelemetrySink",
+    "ObsStreamer",
+    "RunHandle",
+    "RunRegistry",
     "Series",
     "Span",
+    "TelemetryChannel",
+    "TelemetryClient",
+    "TelemetryRecord",
     "Tracer",
     "chrome_trace_events",
+    "default_socket_path",
     "event_instants",
     "events_from_ndjson",
     "events_ndjson",
+    "follow_telemetry",
     "get_event_log",
     "get_metrics",
+    "get_telemetry",
     "get_tracer",
     "metrics_ndjson",
     "profile_report",
+    "prometheus_text",
+    "records_from_ndjson",
+    "runs_root",
     "set_event_log",
     "set_metrics",
+    "set_telemetry",
     "set_tracer",
     "spans_ndjson",
     "to_chrome_trace",
     "use_event_log",
     "use_metrics",
+    "use_telemetry",
     "use_tracer",
     "write_chrome_trace",
     "write_metrics_ndjson",
+    "write_prometheus",
     "write_spans_ndjson",
     "write_text",
 ]

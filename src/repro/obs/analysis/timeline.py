@@ -75,6 +75,9 @@ EVENT_MARKERS = {
     "scf.checkpoint": "S",
     "scf.restart": "^",
     "scf.converged": "*",
+    "worker.hung": "!",
+    "worker.recovered": "+",
+    "process.worker_lost": "L",
 }
 
 
@@ -187,6 +190,14 @@ def _overlap_seconds(
             break
         total += min(b, hi) - max(a, lo)
     return total
+
+
+#: Public aliases: the live ``repro monitor`` dashboard draws its
+#: per-rank activity lanes with the same interval-union arithmetic the
+#: post-hoc breakdowns use.
+merge_intervals = _merge_intervals
+union_seconds = _union_seconds
+overlap_seconds = _overlap_seconds
 
 
 # -- breakdowns --------------------------------------------------------------

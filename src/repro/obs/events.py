@@ -62,18 +62,29 @@ class EventLog:
     clock:
         Monotonic second counter; :func:`time.perf_counter` by default
         (the tracer's clock, so spans and events line up).
+    on_emit:
+        Optional callback invoked with each event as it is recorded —
+        the incremental-NDJSON hook
+        (:class:`~repro.obs.stream.ObsStreamer`), mirroring
+        ``Tracer.on_close``.
     """
 
     def __init__(
-        self, *, clock: Callable[[], float] = time.perf_counter
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        on_emit: Callable[[Event], None] | None = None,
     ) -> None:
         self.clock = clock
+        self.on_emit = on_emit
         self.events: list[Event] = []
 
     def emit(self, kind: str, *, rank: int | None = None, **fields: Any) -> Event:
         """Record an event now; returns the stored record."""
         ev = Event(kind=kind, t=self.clock(), rank=rank, fields=fields)
         self.events.append(ev)
+        if self.on_emit is not None:
+            self.on_emit(ev)
         return ev
 
     def __len__(self) -> int:
@@ -99,6 +110,17 @@ def _json_safe(value: Any) -> Any:
     return str(value)
 
 
+def event_record(ev: Event, t0: float = 0.0) -> dict[str, Any]:
+    """The JSON-ready dict for one event (the NDJSON line payload)."""
+    rec: dict[str, Any] = {
+        "event": ev.kind,
+        "t_s": ev.t - t0,
+        "rank": ev.rank,
+    }
+    rec.update({k: _json_safe(v) for k, v in ev.fields.items()})
+    return rec
+
+
 def events_ndjson(log: EventLog, *, t0: float | None = None) -> str:
     """One JSON line per event, timestamps relative to ``t0``.
 
@@ -108,16 +130,7 @@ def events_ndjson(log: EventLog, *, t0: float | None = None) -> str:
     """
     if t0 is None:
         t0 = log.events[0].t if log.events else 0.0
-    lines = []
-    for ev in log.events:
-        rec: dict[str, Any] = {
-            "event": ev.kind,
-            "t_s": ev.t - t0,
-            "rank": ev.rank,
-        }
-        rec.update({k: _json_safe(v) for k, v in ev.fields.items()})
-        lines.append(json.dumps(rec))
-    return "\n".join(lines)
+    return "\n".join(json.dumps(event_record(ev, t0)) for ev in log.events)
 
 
 def events_from_ndjson(text: str) -> list[Event]:

@@ -17,6 +17,7 @@ Three machine/human-readable views of one traced run:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -232,6 +233,24 @@ def profile_report(tracer: Tracer, *, title: str = "profile") -> str:
 # -- NDJSON ------------------------------------------------------------------
 
 
+def span_record(s: Span, t0: float = 0.0) -> dict[str, Any]:
+    """The JSON-ready dict for one completed span (the NDJSON unit).
+
+    Shared by the batch exporter below and the incremental streamer
+    (:class:`~repro.obs.stream.ObsStreamer`), so streamed and batch
+    files are byte-compatible.
+    """
+    return {
+        "span": s.name,
+        "start_s": s.start - t0,
+        "dur_s": s.duration,
+        "depth": s.depth,
+        "rank": _json_safe(s.effective_attr("rank", 0)),
+        "thread": _json_safe(s.effective_attr("thread", 0)),
+        "attrs": {k: _json_safe(v) for k, v in s.attrs.items()},
+    }
+
+
 def spans_ndjson(tracer: Tracer, *, t0: float | None = None) -> str:
     """One JSON line per completed span (name, start, dur, depth, attrs).
 
@@ -244,22 +263,7 @@ def spans_ndjson(tracer: Tracer, *, t0: float | None = None) -> str:
     spans = [s for s in tracer.walk() if s.end is not None]
     if t0 is None:
         t0 = min((s.start for s in spans), default=0.0)
-    lines = []
-    for s in spans:
-        lines.append(
-            json.dumps(
-                {
-                    "span": s.name,
-                    "start_s": s.start - t0,
-                    "dur_s": s.duration,
-                    "depth": s.depth,
-                    "rank": _json_safe(s.effective_attr("rank", 0)),
-                    "thread": _json_safe(s.effective_attr("thread", 0)),
-                    "attrs": {k: _json_safe(v) for k, v in s.attrs.items()},
-                }
-            )
-        )
-    return "\n".join(lines)
+    return "\n".join(json.dumps(span_record(s, t0)) for s in spans)
 
 
 def metrics_ndjson(registry: MetricsRegistry) -> str:
@@ -277,3 +281,86 @@ def write_spans_ndjson(
 def write_metrics_ndjson(registry: MetricsRegistry, path: str | Path) -> Path:
     """Write :func:`metrics_ndjson` to ``path`` (parent dirs created)."""
     return write_text(path, metrics_ndjson(registry))
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus metric name."""
+    out = _PROM_NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_labels(labels: Iterable[tuple[str, Any]]) -> str:
+    pairs = [
+        f'{_PROM_LABEL_RE.sub("_", str(k))}="{v}"' for k, v in labels
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text-format exposition of a metrics registry.
+
+    Counters and gauges map directly; histograms expand to the summary
+    family ``<name>_count`` / ``<name>_sum`` / ``_min`` / ``_max`` /
+    ``_mean`` / ``_std``; series become one gauge per element with an
+    ``idx`` label.  ``None`` values (unset gauges, empty histograms)
+    are skipped.  The output is key-sorted and deterministic, so
+    external scrapers consume exactly the registry the dashboard and
+    the NDJSON exporter read.
+    """
+    by_family: dict[str, tuple[str, list[str]]] = {}
+
+    def add(family: str, prom_kind: str, line: str) -> None:
+        kind, lines = by_family.setdefault(family, (prom_kind, []))
+        lines.append(line)
+
+    for rec in registry.records():
+        name = _prom_name(rec["metric"])
+        labels = sorted(rec["labels"].items())
+        kind = rec["kind"]
+        value = rec["value"]
+        if kind in ("counter", "gauge"):
+            if value is None:
+                continue
+            suffix = "_total" if kind == "counter" else ""
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            add(
+                name + suffix, prom_kind,
+                f"{name}{suffix}{_prom_labels(labels)} {float(value):g}",
+            )
+        elif kind == "histogram":
+            for stat in ("count", "sum", "min", "max", "mean", "std"):
+                v = value.get(stat)
+                if v is None:
+                    continue
+                add(
+                    f"{name}_{stat}", "gauge",
+                    f"{name}_{stat}{_prom_labels(labels)} {float(v):g}",
+                )
+        elif kind == "series":
+            for i, v in enumerate(value):
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    continue
+                add(
+                    name, "gauge",
+                    f"{name}{_prom_labels(labels + [('idx', i)])} "
+                    f"{float(v):g}",
+                )
+    lines: list[str] = []
+    for family in sorted(by_family):
+        prom_kind, samples = by_family[family]
+        lines.append(f"# TYPE {family} {prom_kind}")
+        lines.extend(samples)
+    return "\n".join(lines)
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`prometheus_text` to ``path`` (parent dirs created)."""
+    return write_text(path, prometheus_text(registry))

@@ -1,0 +1,54 @@
+"""Structured logging control for the CLI.
+
+The repro CLI prints machine-parseable results (energies, JSON, NDJSON
+paths) on **stdout**; everything diagnostic — registry writes, telemetry
+socket lifecycle, backend warnings — goes through :mod:`logging` to
+**stderr**.  This module owns that split:
+
+* ``--log-level debug|info|warning|error`` sets the threshold for the
+  ``repro`` logger tree (handlers attach to stderr only, so piping
+  stdout stays clean);
+* ``--quiet`` raises the threshold to ``error`` *and* is exposed via
+  :func:`quiet_enabled` so subcommands can gate their informational
+  stdout prints (tables, progress notes) while keeping the primary
+  result lines.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_quiet = False
+
+
+def setup_logging(level: str = "warning", *, quiet: bool = False) -> None:
+    """Configure the ``repro`` logger tree for one CLI invocation.
+
+    Idempotent: re-running replaces the handler rather than stacking
+    duplicates (matters for in-process CLI tests that call ``main``
+    repeatedly).
+    """
+    global _quiet
+    _quiet = quiet
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(
+        logging.ERROR if quiet else getattr(logging, level.upper())
+    )
+    root.propagate = False
+
+
+def quiet_enabled() -> bool:
+    """Whether ``--quiet`` was requested (gates informational stdout)."""
+    return _quiet

@@ -1,0 +1,261 @@
+"""Persistent run registry: every run leaves a queryable record.
+
+Before this module, a finished ``repro scf`` left nothing behind but
+stdout; profile output landed wherever ``--output-dir`` pointed and
+benchmark JSON wherever ``--output`` said.  The registry gives all of
+them one home::
+
+    .repro/runs/<run_id>/
+        run.json          # id, kind, config, status, timings, summary
+        metrics.json      # final metrics snapshot (flat, diffable)
+        events.ndjson     # structured event log (when captured)
+        telemetry.ndjson  # live telemetry stream (when --telemetry)
+        telemetry.sock    # unix socket, while the run is live
+
+``run_id`` is ``<UTC stamp>-<pid>-<entropy>`` — sortable by start time
+and collision-free across concurrent runs.  ``repro runs list`` /
+``show`` / ``diff`` read this layout; ``diff`` hands the two runs'
+``metrics.json`` to the PR-4 comparison engine
+(:func:`repro.obs.analysis.compare.compare_runs`), so run-to-run
+regressions gate exactly like benchmark baselines.
+
+The registry root resolves from (in order) an explicit argument, the
+``REPRO_RUNS_DIR`` environment variable, then ``.repro/runs`` under
+the current directory.  Writes are best-effort: a read-only filesystem
+degrades registration to a warning, never a crashed SCF.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import logging
+import os
+import secrets
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+logger = logging.getLogger("repro.obs.registry")
+
+#: Environment override for the registry root (tests point it at tmp).
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: Default registry root, relative to the working directory.
+DEFAULT_ROOT = Path(".repro") / "runs"
+
+_RUN_FILE = "run.json"
+_METRICS_FILE = "metrics.json"
+
+
+def runs_root(root: str | Path | None = None) -> Path:
+    """Resolve the registry root: argument > env var > default."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(RUNS_DIR_ENV)
+    return Path(env) if env else DEFAULT_ROOT
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def new_run_id(clock: _dt.datetime | None = None) -> str:
+    """Sortable, collision-free run id: UTC stamp + pid + entropy."""
+    now = clock or _dt.datetime.now(_dt.timezone.utc)
+    return (
+        f"{now.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}-{secrets.token_hex(2)}"
+    )
+
+
+@dataclass
+class RunHandle:
+    """One registered run: its id, directory, and mutable record."""
+
+    run_id: str
+    directory: Path
+    record: dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the registry write path is usable."""
+        return self.directory is not None
+
+    def path(self, name: str) -> Path:
+        """A file path inside the run directory."""
+        return self.directory / name
+
+    def save(self) -> None:
+        """Persist ``run.json`` (best effort)."""
+        try:
+            self.path(_RUN_FILE).write_text(
+                json.dumps(_json_safe(self.record), indent=2, sort_keys=True)
+                + "\n"
+            )
+        except OSError as exc:  # pragma: no cover - fs failure path
+            logger.warning("run registry write failed: %s", exc)
+
+    def add_artifact(self, name: str, path: str | Path) -> None:
+        """Record an artifact path produced by this run."""
+        self.record.setdefault("artifacts", {})[name] = str(path)
+
+    def finalize(
+        self,
+        *,
+        status: str,
+        metrics: dict[str, Any] | None = None,
+        summary: dict[str, Any] | None = None,
+        event_counts: dict[str, int] | None = None,
+    ) -> None:
+        """Close the record: status, wall time, final metrics snapshot."""
+        now = _dt.datetime.now(_dt.timezone.utc)
+        self.record["status"] = status
+        self.record["finished_at"] = now.isoformat()
+        if summary:
+            self.record.setdefault("summary", {}).update(_json_safe(summary))
+        if event_counts is not None:
+            self.record["event_counts"] = dict(event_counts)
+        if metrics is not None:
+            try:
+                self.path(_METRICS_FILE).write_text(
+                    json.dumps(_json_safe(metrics), indent=2, sort_keys=True)
+                    + "\n"
+                )
+            except OSError as exc:  # pragma: no cover - fs failure path
+                logger.warning("metrics snapshot write failed: %s", exc)
+        self.save()
+
+
+class RunRegistry:
+    """Registry over one root directory of run records."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = runs_root(root)
+
+    # -- writing -------------------------------------------------------------
+
+    def register(
+        self, kind: str, *, config: dict[str, Any] | None = None
+    ) -> RunHandle | None:
+        """Open a new run record; returns ``None`` when the fs refuses."""
+        run_id = new_run_id()
+        directory = self.root / run_id
+        try:
+            directory.mkdir(parents=True, exist_ok=False)
+        except OSError as exc:
+            logger.warning("cannot register run under %s: %s", self.root, exc)
+            return None
+        record = {
+            "run_id": run_id,
+            "kind": kind,
+            "config": _json_safe(config or {}),
+            "status": "running",
+            "started_at": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+            "artifacts": {},
+        }
+        handle = RunHandle(run_id=run_id, directory=directory, record=record)
+        handle.save()
+        logger.info("registered %s run %s", kind, run_id)
+        return handle
+
+    # -- reading -------------------------------------------------------------
+
+    def run_ids(self) -> list[str]:
+        """All registered run ids, oldest first (ids sort by start time)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            d.name for d in self.root.iterdir()
+            if d.is_dir() and (d / _RUN_FILE).exists()
+        )
+
+    def load(self, run_id: str) -> dict[str, Any]:
+        """The ``run.json`` record of one run (exact id)."""
+        return json.loads((self.root / run_id / _RUN_FILE).read_text())
+
+    def find(self, needle: str) -> str:
+        """Resolve an id prefix or ``"latest"`` to an exact run id.
+
+        Raises ``KeyError`` with a helpful message when the needle
+        matches zero or several runs.
+        """
+        ids = self.run_ids()
+        if not ids:
+            raise KeyError(f"no runs registered under {self.root}")
+        if needle in ("latest", ""):
+            return ids[-1]
+        matches = [i for i in ids if i.startswith(needle)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no run matches {needle!r} under {self.root}")
+        raise KeyError(
+            f"{needle!r} is ambiguous: matches {', '.join(matches[-5:])}"
+        )
+
+    def metrics_path(self, run_id: str) -> Path:
+        return self.root / run_id / _METRICS_FILE
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    # -- rendering -----------------------------------------------------------
+
+    def list_table(self) -> str:
+        """Human-readable table of all runs, newest last."""
+        rows = []
+        for run_id in self.run_ids():
+            try:
+                rec = self.load(run_id)
+            except (OSError, json.JSONDecodeError):
+                continue
+            summary = rec.get("summary", {})
+            energy = summary.get("energy")
+            rows.append(
+                (
+                    run_id,
+                    rec.get("kind", "?"),
+                    rec.get("status", "?"),
+                    rec.get("config", {}).get("algorithm", "-"),
+                    f"{energy:.6f}" if isinstance(energy, float) else "-",
+                )
+            )
+        if not rows:
+            return f"(no runs registered under {self.root})"
+        header = ("run", "kind", "status", "algorithm", "energy/Eh")
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows))
+            for c in range(len(header))
+        ]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        lines = [fmt.format(*header)]
+        lines += [fmt.format(*row) for row in rows]
+        return "\n".join(lines)
+
+    def show(self, run_id: str) -> str:
+        """Full dump of one run: record, event counts, artifact paths."""
+        rec = self.load(run_id)
+        lines = [f"run {run_id} ({rec.get('kind', '?')})"]
+        lines.append(json.dumps(rec, indent=2, sort_keys=True))
+        events = self.run_dir(run_id) / "events.ndjson"
+        if "event_counts" not in rec and events.exists():
+            counts: dict[str, int] = {}
+            for line in filter(
+                None, (ln.strip() for ln in events.read_text().splitlines())
+            ):
+                try:
+                    kind = json.loads(line).get("event", "?")
+                except json.JSONDecodeError:
+                    continue
+                counts[kind] = counts.get(kind, 0) + 1
+            if counts:
+                lines.append("events:")
+                for kind in sorted(counts):
+                    lines.append(f"  {kind}: {counts[kind]}")
+        return "\n".join(lines)

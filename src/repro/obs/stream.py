@@ -1,0 +1,147 @@
+"""Incremental (line-buffered) NDJSON streaming of spans and events.
+
+The batch exporters in :mod:`repro.obs.export` serialize a finished
+tracer; a worker that dies mid-build via ``os._exit`` (the fault
+injector's kill path) never reaches that code, so everything still
+buffered in its tracer/event log used to vanish from the merged trace.
+
+:class:`ObsStreamer` closes that gap: it hooks the tracer's
+``on_close`` and the event log's ``on_emit`` callbacks and appends one
+JSON line per completed span / emitted event to line-buffered append
+files the moment the record exists.  A killed worker's obs output is
+then durable up to its very last completed span — no final flush
+required — and the on-disk format is byte-compatible with
+``spans.ndjson`` / ``events.ndjson``, so
+:func:`~repro.obs.analysis.timeline.spans_from_ndjson` and
+:func:`~repro.obs.events.events_from_ndjson` read streamed files
+unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.obs.events import Event, EventLog, event_record
+from repro.obs.export import span_record
+from repro.obs.tracer import Span, Tracer
+
+
+class NDJSONStreamWriter:
+    """Append JSON records to a file, one durable line at a time.
+
+    The file is opened in append mode with line buffering, so every
+    :meth:`write` survives an ``os._exit`` (the OS flushes on the
+    newline) and concurrent writers appending whole lines to *separate*
+    files can be merged afterwards without tearing.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: TextIO = open(self.path, "a", buffering=1)
+        self.written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+
+    def __enter__(self) -> "NDJSONStreamWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+class ObsStreamer:
+    """Stream a tracer's spans and an event log's events as they happen.
+
+    Parameters
+    ----------
+    directory:
+        Destination directory; ``spans.ndjson`` / ``events.ndjson`` are
+        appended there (the per-worker obs layout).
+    tracer, log:
+        The instruments to hook.  Their existing callbacks (if any) are
+        chained, not replaced.
+    t0:
+        Shared time base subtracted from every timestamp — the process
+        backend passes one ``perf_counter`` reading to every worker so
+        all streams land on one merged timeline.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        tracer: Tracer | None = None,
+        log: EventLog | None = None,
+        t0: float = 0.0,
+    ) -> None:
+        self.directory = Path(directory)
+        self.t0 = t0
+        self.tracer = tracer
+        self.log = log
+        self._spans: NDJSONStreamWriter | None = None
+        self._events: NDJSONStreamWriter | None = None
+        self._prev_on_close = None
+        self._prev_on_emit = None
+        if tracer is not None:
+            self._spans = NDJSONStreamWriter(self.directory / "spans.ndjson")
+            self._prev_on_close = tracer.on_close
+            tracer.on_close = self._span_closed
+        if log is not None:
+            self._events = NDJSONStreamWriter(self.directory / "events.ndjson")
+            self._prev_on_emit = log.on_emit
+            log.on_emit = self._event_emitted
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _span_closed(self, span: Span) -> None:
+        if self._spans is not None:
+            self._spans.write(span_record(span, self.t0))
+        if self._prev_on_close is not None:
+            self._prev_on_close(span)
+
+    def _event_emitted(self, event: Event) -> None:
+        if self._events is not None:
+            self._events.write(event_record(event, self.t0))
+        if self._prev_on_emit is not None:
+            self._prev_on_emit(event)
+
+    # -- stats / teardown ----------------------------------------------------
+
+    @property
+    def spans_written(self) -> int:
+        return self._spans.written if self._spans is not None else 0
+
+    @property
+    def events_written(self) -> int:
+        return self._events.written if self._events is not None else 0
+
+    def close(self) -> None:
+        """Unhook the instruments and close the files."""
+        if self.tracer is not None:
+            self.tracer.on_close = self._prev_on_close
+            self.tracer = None
+        if self.log is not None:
+            self.log.on_emit = self._prev_on_emit
+            self.log = None
+        for writer in (self._spans, self._events):
+            if writer is not None:
+                writer.close()
+
+    def __enter__(self) -> "ObsStreamer":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

@@ -130,6 +130,12 @@ class Tracer:
         returns a shared no-op context manager.
     clock:
         Monotonic second counter; :func:`time.perf_counter` by default.
+    on_close:
+        Optional callback invoked with each span as it completes —
+        the hook the incremental NDJSON streamer
+        (:class:`~repro.obs.stream.ObsStreamer`) uses to make records
+        durable before a worker can die.  ``None`` (the default) costs
+        one ``is None`` test per span close.
     """
 
     def __init__(
@@ -137,9 +143,11 @@ class Tracer:
         *,
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        on_close: Callable[[Span], None] | None = None,
     ) -> None:
         self.enabled = enabled
         self.clock = clock
+        self.on_close = on_close
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
@@ -161,6 +169,8 @@ class Tracer:
     def _close(self) -> None:
         s = self._stack.pop()
         s.end = self.clock()
+        if self.on_close is not None:
+            self.on_close(s)
 
     # -- inspection ----------------------------------------------------------
 

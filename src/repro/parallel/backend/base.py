@@ -65,6 +65,7 @@ def make_backend(
     workers: int | None = None,
     schedule_seed: int | None = None,
     obs_dir: Any = None,
+    **process_options: Any,
 ) -> ExecutionBackend:
     """Resolve a backend name (or pass an instance through).
 
@@ -80,12 +81,21 @@ def make_backend(
     obs_dir:
         Directory for per-worker spans/events NDJSON (ignored by
         ``sim``).
+    **process_options:
+        Further :class:`~repro.parallel.backend.process.ProcessBackend`
+        keywords (``heartbeat_interval_s``, ``heartbeat_timeout_s``,
+        ``build_timeout_s``); rejected for the sim backend so typos do
+        not pass silently.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
     if spec == "sim":
         from repro.parallel.backend.sim import SimBackend
 
+        if process_options:
+            raise TypeError(
+                f"sim backend takes no options {sorted(process_options)!r}"
+            )
         return SimBackend()
     if spec == "process":
         from repro.parallel.backend.process import ProcessBackend
@@ -94,6 +104,7 @@ def make_backend(
             workers=4 if workers is None else workers,
             schedule_seed=schedule_seed,
             obs_dir=obs_dir,
+            **process_options,
         )
     raise ValueError(
         f"unknown execution backend {spec!r}; choose from {BACKEND_NAMES}"

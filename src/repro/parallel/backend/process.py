@@ -35,7 +35,18 @@ one shared ``perf_counter`` base (``CLOCK_MONOTONIC`` is common across
 processes on a host), so :func:`worker_obs_run` can hand the whole
 worker fleet to
 :func:`~repro.obs.analysis.timeline.merged_chrome_trace` as a single
-aligned timeline.
+aligned timeline.  Records are streamed *incrementally* (line-buffered
+append via :class:`~repro.obs.stream.ObsStreamer`): a worker killed by
+``os._exit`` mid-build leaves every span and event it completed on
+disk, not in a lost buffer.
+
+Liveness: workers send in-band heartbeats (build start, every DLB
+claim boundary rate-limited to ``heartbeat_interval_s``, build done)
+over a shared queue; the parent's
+:class:`~repro.parallel.backend.heartbeat.HeartbeatMonitor` flags any
+pending rank silent past ``heartbeat_timeout_s`` as ``suspect`` and
+emits a ``worker.hung`` event — a stalled worker becomes visible in
+seconds instead of at the build timeout.
 """
 
 from __future__ import annotations
@@ -49,12 +60,19 @@ from typing import Any
 
 import numpy as np
 
-from repro.obs.events import EventLog, events_from_ndjson, events_ndjson, get_event_log
-from repro.obs.export import spans_ndjson
+from repro.obs.events import EventLog, events_from_ndjson, get_event_log
 from repro.obs.metrics import get_metrics
+from repro.obs.stream import ObsStreamer
+from repro.obs.telemetry import get_telemetry
 from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.parallel.backend.base import ExecutionBackend
 from repro.parallel.backend.counter import SharedTaskCounter
+from repro.parallel.backend.heartbeat import (
+    DEFAULT_INTERVAL_S,
+    DEFAULT_TIMEOUT_S,
+    HeartbeatMonitor,
+    make_beat,
+)
 from repro.parallel.shared_array import SharedNDArray
 
 #: Injected-kill exit code (distinguishes chaos deaths in diagnostics).
@@ -72,26 +90,6 @@ class WorkerGeometryError(ValueError):
     """Builder geometry and backend worker count disagree."""
 
 
-def _flush_worker_obs(cfg: dict, rank: int, tracer: Tracer | None,
-                      log: EventLog | None) -> None:
-    """Append this worker's spans/events NDJSON (shared time base)."""
-    if cfg["obs_dir"] is None:
-        return
-    d = Path(cfg["obs_dir"]) / f"worker{rank}"
-    d.mkdir(parents=True, exist_ok=True)
-    if tracer is not None:
-        text = spans_ndjson(tracer, t0=cfg["t0"])
-        if text:
-            with open(d / "spans.ndjson", "a") as fh:
-                fh.write(text + "\n")
-        tracer.clear()
-    if log is not None:
-        if log.events:
-            with open(d / "events.ndjson", "a") as fh:
-                fh.write(events_ndjson(log, t0=cfg["t0"]) + "\n")
-        log.clear()
-
-
 def _worker_loop(
     rank: int,
     builder: Any,
@@ -100,30 +98,62 @@ def _worker_loop(
     slabs: SharedNDArray,
     cmd: Any,
     results: Any,
+    hb: Any,
     cfg: dict,
 ) -> None:
     """One worker process: serve ``("build", cycle)`` commands forever.
 
     Everything arrives through fork inheritance (no pickling): the sim
     builder (whose ``rank_program`` we execute), the shared counter,
-    and the shared-memory views.
+    the shared-memory views, and the heartbeat queue.
     """
     tracer = Tracer() if cfg["obs_dir"] is not None else None
     log = EventLog() if cfg["obs_dir"] is not None else None
+    streamer = (
+        ObsStreamer(
+            Path(cfg["obs_dir"]) / f"worker{rank}",
+            tracer=tracer, log=log, t0=cfg["t0"],
+        )
+        if cfg["obs_dir"] is not None
+        else None
+    )
     plan = builder.fault_plan
     D = density.array
     W = slabs.array[rank]
+    pid = os.getpid()
+    interval = cfg["heartbeat_s"]
+    last_beat = 0.0
+
+    def beat(phase: str, cycle: int, claimed: int = 0) -> None:
+        """Send one in-band heartbeat (never blocks, never raises)."""
+        nonlocal last_beat
+        now = time.perf_counter()
+        last_beat = now
+        span = tracer.current.name if tracer and tracer.current else None
+        try:
+            hb.put_nowait(
+                make_beat(rank, pid, cycle, phase, t=now - cfg["t0"],
+                          claimed=claimed, span=span)
+            )
+        except Exception:  # pragma: no cover - full queue is diagnostic loss
+            pass
+
     while True:
         msg = cmd.get()
         if msg[0] == "stop":
-            _flush_worker_obs(cfg, rank, tracer, log)
+            if streamer is not None:
+                streamer.close()
             return
         cycle = msg[1]
+        if interval is not None:
+            beat("start", cycle)
         kill_after = plan.kill_after(rank, cycle) if plan is not None else None
         factor = plan.delay_factor(rank, cycle) if plan is not None else 1.0
         if factor > 1.0:
             # A real straggler: this worker sleeps, the shared counter
-            # shifts its grants to the faster ranks automatically.
+            # shifts its grants to the faster ranks automatically — and
+            # the heartbeat goes silent, which is exactly how the
+            # parent tells a stall from slow progress.
             if log is not None:
                 log.emit("fault.delay", rank=rank, cycle=cycle, factor=factor)
             time.sleep(min(0.2, 0.02 * (factor - 1.0)))
@@ -133,7 +163,10 @@ def _worker_loop(
             else None
         )
 
+        claim_count = 0
+
         def grants():
+            nonlocal claim_count
             done = 0
             while True:
                 if kill_after is not None and done >= kill_after:
@@ -141,32 +174,43 @@ def _worker_loop(
                     # no result message, a partially-written slab, and
                     # a counter that keeps serving the survivors.  The
                     # parent replays our claimed tasks and respawns us.
+                    # Streamed obs records are already on disk.
                     if log is not None:
                         log.emit(
                             "fault.kill", rank=rank, cycle=cycle, after=done
                         )
-                    _flush_worker_obs(cfg, rank, tracer, log)
                     os._exit(KILLED_EXIT_CODE)
                 if rng is not None:
                     # Scheduling jitter for nondeterminism hunting:
                     # perturb claim arrival order between runs.
                     time.sleep(float(rng.random()) * 2e-4)
+                if (
+                    interval is not None
+                    and time.perf_counter() - last_beat >= interval
+                ):
+                    beat("claim", cycle, claimed=done)
                 t = counter.next(rank)
                 if t is None:
                     return
                 yield t
                 done += 1
+                claim_count = done
 
         if tracer is not None:
             with use_tracer(tracer):
                 with tracer.span(
                     "fock/rank", rank=rank, cycle=cycle,
-                    pid=os.getpid(), backend="process",
+                    pid=pid, backend="process",
                 ):
                     rr = builder.rank_program(rank, grants(), D, W)
+            # Streamed on close; drop the in-memory copies.
+            tracer.clear()
+            if log is not None:
+                log.clear()
         else:
             rr = builder.rank_program(rank, grants(), D, W)
-        _flush_worker_obs(cfg, rank, tracer, log)
+        if interval is not None:
+            beat("done", cycle, claimed=claim_count)
         results.put((rank, cycle, rr.as_dict()))
 
 
@@ -187,6 +231,8 @@ class ProcessFockBuilder:
         schedule_seed: int | None = None,
         obs_dir: str | Path | None = None,
         build_timeout_s: float = DEFAULT_BUILD_TIMEOUT_S,
+        heartbeat_interval_s: float | None = DEFAULT_INTERVAL_S,
+        heartbeat_timeout_s: float = DEFAULT_TIMEOUT_S,
     ) -> None:
         if workers < 1:
             raise WorkerGeometryError(f"workers must be >= 1, got {workers}")
@@ -214,10 +260,17 @@ class ProcessFockBuilder:
             "schedule_seed": schedule_seed,
             "obs_dir": None if obs_dir is None else str(obs_dir),
             "t0": time.perf_counter(),  # shared trace base for all workers
+            "heartbeat_s": heartbeat_interval_s,
         }
         self._procs: list[Any] = [None] * workers
         self._cmds: list[Any] = [None] * workers
         self._results = self._ctx.Queue()
+        self._hb = self._ctx.Queue()
+        self.heartbeat: HeartbeatMonitor | None = (
+            HeartbeatMonitor(workers, timeout_s=heartbeat_timeout_s)
+            if heartbeat_interval_s is not None
+            else None
+        )
         self._closed = False
 
     def __getattr__(self, name: str) -> Any:
@@ -233,7 +286,7 @@ class ProcessFockBuilder:
             target=_worker_loop,
             args=(
                 rank, self.inner, self._counter, self._density,
-                self._slabs, cmd, self._results, self._cfg,
+                self._slabs, cmd, self._results, self._hb, self._cfg,
             ),
             name=f"fock-worker-{rank}",
             daemon=True,
@@ -267,6 +320,8 @@ class ProcessFockBuilder:
             self._slabs.fill(0.0)
             self._counter.reset(self.inner.dlb_ntasks())
             self._ensure_workers()
+            if self.heartbeat is not None:
+                self.heartbeat.start_build(cycle)
             for rank in range(self.workers):
                 self._cmds[rank].put(("build", cycle))
             rrs, dead = self._collect(cycle)
@@ -287,17 +342,34 @@ class ProcessFockBuilder:
         self.inner._record_global(stats)
         return self.inner.assemble(W), stats
 
+    def _drain_heartbeats(self) -> None:
+        """Fold every queued worker beat into the liveness monitor."""
+        if self.heartbeat is None:
+            return
+        while True:
+            try:
+                beat = self._hb.get_nowait()
+            except queue_mod.Empty:
+                return
+            self.heartbeat.record(beat)
+
     def _collect(self, cycle: int) -> tuple[dict, list[int]]:
-        """Gather per-rank results; detect workers that died mid-build."""
+        """Gather per-rank results; detect workers that died or stalled."""
         from repro.core.fock_base import RankBuildResult
 
         rrs: dict[int, RankBuildResult] = {}
         dead: list[int] = []
         pending = set(range(self.workers))
         deadline = time.monotonic() + self.build_timeout_s
+        # Poll fast enough that a missed-heartbeat deadline is noticed
+        # within about half the timeout, not at the 0.25 s default.
+        poll = 0.25
+        if self.heartbeat is not None:
+            poll = min(poll, max(0.01, self.heartbeat.timeout_s / 2))
         while pending:
+            self._drain_heartbeats()
             try:
-                rank, rcycle, payload = self._results.get(timeout=0.25)
+                rank, rcycle, payload = self._results.get(timeout=poll)
             except queue_mod.Empty:
                 for rank in sorted(pending):
                     proc = self._procs[rank]
@@ -308,6 +380,13 @@ class ProcessFockBuilder:
                         self._procs[rank] = None
                         pending.discard(rank)
                         dead.append(rank)
+                        if self.heartbeat is not None:
+                            self.heartbeat.mark_lost(rank)
+                if self.heartbeat is not None:
+                    # Silent-but-alive pending ranks turn suspect here:
+                    # the worker.hung event fires long before the build
+                    # timeout or a missed DLB claim would implicate them.
+                    self.heartbeat.check(pending)
                 if time.monotonic() > deadline:
                     raise BuildTimeoutError(
                         f"Fock build {cycle}: worker(s) {sorted(pending)} "
@@ -318,6 +397,9 @@ class ProcessFockBuilder:
                 continue
             rrs[rank] = RankBuildResult.from_dict(payload)
             pending.discard(rank)
+            if self.heartbeat is not None:
+                self.heartbeat.mark_done(rank)
+        self._drain_heartbeats()
         return rrs, dead
 
     def _recover(self, rrs: dict, dead: list[int], cycle: int) -> None:
@@ -333,6 +415,7 @@ class ProcessFockBuilder:
             return
         registry = get_metrics()
         log = get_event_log()
+        channel = get_telemetry()
         leftover = list(range(self._counter.claimed(), self._counter.ntasks))
         for idx, rank in enumerate(sorted(dead)):
             tasks = self._counter.owned(rank)
@@ -346,6 +429,13 @@ class ProcessFockBuilder:
                 rank, iter(tasks), self._density.array, slab
             )
             rrs[rank] = rr
+            # Whether the heartbeat already implicated this rank before
+            # its death was confirmed — the suspect -> lost -> replay
+            # chain the monitor dashboard shows.
+            was_suspect = (
+                self.heartbeat is not None
+                and self.heartbeat.health[rank].suspect_count > 0
+            )
             if registry is not None:
                 registry.counter("process.workers_lost").inc()
                 registry.counter(
@@ -354,7 +444,13 @@ class ProcessFockBuilder:
             if log is not None:
                 log.emit(
                     "process.worker_lost", rank=rank, cycle=cycle,
-                    replayed=len(tasks),
+                    replayed=len(tasks), was_suspect=was_suspect,
+                )
+            if channel is not None:
+                channel.publish(
+                    "process.replay", source="driver", rank=rank,
+                    cycle=cycle, replayed=len(tasks),
+                    was_suspect=was_suspect,
                 )
 
     # -- teardown ------------------------------------------------------------
@@ -405,6 +501,8 @@ class ProcessBackend(ExecutionBackend):
         schedule_seed: int | None = None,
         obs_dir: str | Path | None = None,
         build_timeout_s: float = DEFAULT_BUILD_TIMEOUT_S,
+        heartbeat_interval_s: float | None = DEFAULT_INTERVAL_S,
+        heartbeat_timeout_s: float = DEFAULT_TIMEOUT_S,
     ) -> None:
         if workers < 1:
             raise WorkerGeometryError(f"workers must be >= 1, got {workers}")
@@ -412,6 +510,8 @@ class ProcessBackend(ExecutionBackend):
         self.schedule_seed = schedule_seed
         self.obs_dir = obs_dir
         self.build_timeout_s = build_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
         self._wrapped: list[ProcessFockBuilder] = []
 
     def wrap_builder(self, builder: Any) -> ProcessFockBuilder:
@@ -421,6 +521,8 @@ class ProcessBackend(ExecutionBackend):
             schedule_seed=self.schedule_seed,
             obs_dir=self.obs_dir,
             build_timeout_s=self.build_timeout_s,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
         )
         self._wrapped.append(wrapped)
         return wrapped

@@ -21,6 +21,7 @@ import numpy as np
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.onee import kinetic_matrix, nuclear_matrix, overlap_matrix
 from repro.obs.events import get_event_log
+from repro.obs.telemetry import get_telemetry
 from repro.obs.tracer import get_tracer
 from repro.resilience.checkpoint import (
     CheckpointManager,
@@ -332,6 +333,14 @@ class RHF:
                         "scf.cycle", cycle=it, energy=e_elec + self.enuc,
                         d_rms=d_rms, de=de,
                     )
+                channel = get_telemetry()
+                if channel is not None:
+                    # The monitor's convergence sparkline is drawn from
+                    # these per-cycle samples.
+                    channel.publish(
+                        "scf.cycle", cycle=it, energy=e_elec + self.enuc,
+                        delta_e=de, d_rms=d_rms,
+                    )
 
                 D = D_new
                 e_old = e_elec
@@ -369,6 +378,12 @@ class RHF:
                 if log is not None:
                     log.emit(
                         "scf.converged", cycle=it, energy=e_old + self.enuc
+                    )
+                channel = get_telemetry()
+                if channel is not None:
+                    channel.publish(
+                        "scf.converged", cycle=it,
+                        energy=e_old + self.enuc, converged=True,
                     )
                 break
 

@@ -77,6 +77,19 @@ def pytest_runtest_call(item):
         signal.signal(signal.SIGALRM, previous)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the persistent run registry at a throwaway directory.
+
+    The CLI registers every scf/profile/bench invocation by default, so
+    without this every test that drives ``cmd_scf``/``cmd_profile``
+    would litter ``.repro/runs/`` inside the working tree.
+    """
+    from repro.obs.registry import RUNS_DIR_ENV
+
+    monkeypatch.setenv(RUNS_DIR_ENV, str(tmp_path / "runs"))
+
+
 @pytest.fixture(scope="session")
 def water_sto3g() -> BasisSet:
     """Water in STO-3G: the small validation workhorse (7 BFs, 4 shells)."""

@@ -1,0 +1,179 @@
+"""Monitor dashboard: record folding, lanes, sparkline, rendering."""
+
+import pytest
+
+from repro.obs.monitor import (
+    MonitorState,
+    RankView,
+    replay_dashboard,
+    sparkline,
+)
+from repro.obs.telemetry import TelemetryChannel, TelemetryRecord
+
+
+def rec(kind, t, source="driver", **payload):
+    return TelemetryRecord(kind=kind, t=t, source=source, payload=payload)
+
+
+def hb(rank, t, *, phase="claim", state="ok", claimed=0, **extra):
+    return rec(
+        "worker.heartbeat", t, source=f"rank{rank}", rank=rank, phase=phase,
+        state=state, claimed=claimed, pid=1000 + rank, **extra,
+    )
+
+
+# -- sparkline ----------------------------------------------------------------
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+    ramp = sparkline([0, 1, 2, 3])
+    assert ramp[0] == "▁" and ramp[-1] == "█"
+    assert len(sparkline(range(100), width=32)) == 32
+
+
+# -- rank lanes ---------------------------------------------------------------
+
+
+def test_lane_lights_up_only_while_beating():
+    view = RankView(rank=0)
+    for t in (0.0, 0.1, 0.2):
+        view.observe_beat(t, "claim")
+    lane = view.lane(0.0, 1.0, width=10)
+    assert len(lane) == 10
+    assert lane[0] == "█"  # busy while beats arrive (plus glow)
+    assert lane[-1] == "·"  # dark long after the last beat
+    assert view.lane(0.0, 0.0, width=4) == "····"  # degenerate window
+
+
+def test_lane_goes_dark_during_hang_then_relights():
+    view = RankView(rank=1)
+    view.observe_beat(0.0, "start")
+    view.observe_beat(0.1, "claim")
+    # Silence (a hang) until t=5, then recovery beats.
+    view.observe_beat(5.0, "claim")
+    view.observe_beat(5.1, "done")
+    lane = view.lane(0.0, 5.2, width=26)
+    middle = lane[len(lane) // 3: 2 * len(lane) // 3]
+    assert set(middle) == {"·"}
+    assert lane[0] != "·" and lane[-1] != "·"
+
+
+# -- folding ------------------------------------------------------------------
+
+
+def test_heartbeats_build_rank_views_and_dlb_samples():
+    state = MonitorState()
+    state.apply(hb(0, 0.0, phase="start", claimed=0))
+    state.apply(hb(1, 0.1, phase="start", claimed=0))
+    state.apply(hb(0, 1.0, claimed=6))
+    state.apply(hb(1, 1.0, claimed=4, claim_rate=4.0))
+    assert sorted(state.ranks) == [0, 1]
+    assert state.ranks[0].claimed == 6
+    assert state.ranks[1].claim_rate == pytest.approx(4.0)
+    # 10 claims over the 1 s sample window.
+    assert state.dlb_rate == pytest.approx(10.0)
+    assert state.t_first == 0.0 and state.t_last == 1.0
+
+
+def test_hung_and_recovered_fold_into_health_and_events():
+    state = MonitorState()
+    state.apply(hb(0, 0.0))
+    state.apply(rec("worker.hung", 1.0, source="rank0", rank=0,
+                    state="suspect", suspect_count=1, silent_s=0.8))
+    assert state.ranks[0].state == "suspect"
+    assert state.health_counts == {"suspect": 1}
+    state.apply(rec("worker.recovered", 1.2, source="rank0", rank=0,
+                    state="ok", suspect_count=1))
+    assert state.ranks[0].state == "ok"
+    assert [e.kind for e in state.events] == [
+        "worker.hung", "worker.recovered",
+    ]
+
+
+def test_scf_cycles_feed_convergence_series():
+    state = MonitorState()
+    for i, de in enumerate((1.0, 1e-3, 1e-8), start=1):
+        state.apply(rec("scf.cycle", float(i), cycle=i,
+                        energy=-74.0 - i, delta_e=de))
+    assert [c.cycle for c in state.cycles] == [1, 2, 3]
+    assert state.convergence_series() == pytest.approx([0.0, -3.0, -8.0])
+    assert state.last_energy == pytest.approx(-77.0)
+    assert state.converged is None
+    state.apply(rec("scf.converged", 4.0, cycle=3, energy=-77.0,
+                    converged=True))
+    assert "scf.converged" in [e.kind for e in state.events]
+
+
+def test_zero_delta_e_clamps_to_minus_sixteen():
+    state = MonitorState()
+    state.apply(rec("scf.cycle", 1.0, cycle=1, energy=-1.0, delta_e=0.0))
+    assert state.convergence_series() == [-16.0]
+
+
+def test_run_records_and_metrics_snapshots():
+    state = MonitorState()
+    state.apply(rec("run.start", 0.0, run_kind="scf",
+                    algorithm="shared-fock", nranks=4))
+    state.apply(rec("metrics.snapshot", 1.0, build=1,
+                    counters={"dlb.grants": 12, "bad": "str"}))
+    state.apply(rec("run.end", 2.0, status="done", converged=True,
+                    energy=-74.96, builds=9))
+    assert state.run_info["algorithm"] == "shared-fock"
+    assert state.counters == {"dlb.grants": 12.0}
+    assert state.converged is True
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _fed_state():
+    state = MonitorState()
+    state.apply(rec("run.start", 0.0, run_kind="scf",
+                    algorithm="shared-fock", nranks=2))
+    state.apply(hb(0, 0.1, phase="start"))
+    state.apply(hb(1, 0.1, phase="start"))
+    state.apply(rec("scf.cycle", 0.5, cycle=1, energy=-74.0, delta_e=1.0))
+    state.apply(hb(0, 0.9, claimed=8, claim_rate=10.0))
+    state.apply(rec("worker.hung", 1.4, source="rank1", rank=1,
+                    state="suspect", suspect_count=1, silent_s=1.3))
+    state.apply(rec("scf.cycle", 1.5, cycle=2, energy=-74.9, delta_e=1e-4))
+    return state
+
+
+def test_render_frame_contents():
+    frame = _fed_state().render()
+    assert "repro monitor" in frame
+    assert "[shared-fock]" in frame
+    assert "cycle   2" in frame
+    assert "E = -74.9" in frame
+    assert "log10|dE|" in frame
+    assert "DLB: 8 claims" in frame
+    assert "rank" in frame and "activity" in frame
+    assert "suspect" in frame
+    assert "worker.hung" in frame
+    # Event tail times are run-relative, not absolute perf_counter.
+    assert "t=    1.400s" in frame
+    assert "health: ok=1, suspect=1" in frame
+
+
+def test_render_empty_state():
+    frame = MonitorState().render()
+    assert "0 records" in frame
+
+
+def test_replay_dashboard_round_trip():
+    chan = TelemetryChannel(clock=iter([0.0, 0.2, 0.4, 0.6]).__next__)
+    seen = []
+    chan.subscribe(seen.append)
+    chan.publish("run.start", run_kind="scf", algorithm="mpi-only")
+    chan.publish("worker.heartbeat", source="rank0", rank=0, phase="start",
+                 state="ok", claimed=0)
+    chan.publish("scf.cycle", cycle=1, energy=-1.0, delta_e=0.5)
+    chan.publish("run.end", status="done", converged=True, energy=-1.0)
+    text = "".join(r.to_json() + "\n" for r in seen)
+    frame = replay_dashboard(text)
+    assert "[mpi-only]" in frame
+    assert "converged" in frame
+    assert "run.end" in frame

@@ -1,0 +1,118 @@
+"""Persistent run registry: registration, lookup, listing, records."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_ROOT,
+    RUNS_DIR_ENV,
+    RunRegistry,
+    new_run_id,
+    runs_root,
+)
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return RunRegistry(tmp_path / "runs")
+
+
+def test_runs_root_resolution(tmp_path, monkeypatch):
+    assert runs_root(tmp_path) == tmp_path
+    monkeypatch.setenv(RUNS_DIR_ENV, str(tmp_path / "env"))
+    assert runs_root() == tmp_path / "env"
+    # Explicit argument beats the environment.
+    assert runs_root(tmp_path / "arg") == tmp_path / "arg"
+    monkeypatch.delenv(RUNS_DIR_ENV)
+    assert runs_root() == DEFAULT_ROOT
+
+
+def test_run_ids_are_unique_and_sortable():
+    ids = {new_run_id() for _ in range(32)}
+    assert len(ids) == 32
+    for run_id in ids:
+        stamp = run_id.split("-")[0]
+        assert len(stamp) == 8 and stamp.isdigit()
+
+
+def test_register_creates_run_record(registry):
+    handle = registry.register("scf", config={"algorithm": "shared-fock"})
+    assert handle is not None and handle.ok
+    rec = json.loads(handle.path("run.json").read_text())
+    assert rec["run_id"] == handle.run_id
+    assert rec["kind"] == "scf"
+    assert rec["status"] == "running"
+    assert rec["config"]["algorithm"] == "shared-fock"
+    assert registry.run_ids() == [handle.run_id]
+
+
+def test_finalize_writes_metrics_and_summary(registry):
+    handle = registry.register("scf", config={})
+    handle.add_artifact("trace", "/tmp/trace.json")
+    handle.finalize(
+        status="done",
+        metrics={"scf.cycles": 8, "dlb.grants{rank=0}": 12},
+        summary={"energy": -74.9631772614, "converged": True},
+        event_counts={"scf.cycle": 8},
+    )
+    rec = registry.load(handle.run_id)
+    assert rec["status"] == "done"
+    assert rec["finished_at"]
+    assert rec["summary"]["energy"] == pytest.approx(-74.9631772614)
+    assert rec["event_counts"] == {"scf.cycle": 8}
+    assert rec["artifacts"]["trace"] == "/tmp/trace.json"
+    metrics = json.loads(registry.metrics_path(handle.run_id).read_text())
+    assert metrics["scf.cycles"] == 8
+
+
+def test_find_prefix_latest_and_errors(registry):
+    with pytest.raises(KeyError, match="no runs registered"):
+        registry.find("latest")
+    a = registry.register("scf", config={})
+    b = registry.register("bench", config={})
+    assert registry.find("latest") == max(a.run_id, b.run_id)
+    assert registry.find(a.run_id[:-1]) == a.run_id  # unique prefix
+    with pytest.raises(KeyError, match="no run matches"):
+        registry.find("zzz")
+    with pytest.raises(KeyError, match="ambiguous"):
+        # The UTC-stamp prefix is shared by both runs.
+        registry.find(a.run_id[:4])
+
+
+def test_list_table_shows_summary_energy(registry):
+    assert "no runs registered" in registry.list_table()
+    handle = registry.register("scf", config={"algorithm": "mpi-only"})
+    handle.finalize(status="done", summary={"energy": -1.5})
+    other = registry.register("bench", config={})
+    other.finalize(status="failed")
+    table = registry.list_table()
+    assert handle.run_id in table and other.run_id in table
+    assert "mpi-only" in table
+    assert "-1.500000" in table
+    lines = table.splitlines()
+    assert lines[0].split() == ["run", "kind", "status", "algorithm",
+                                "energy/Eh"]
+
+
+def test_show_counts_events_from_ndjson(registry):
+    handle = registry.register("scf", config={})
+    handle.finalize(status="done")
+    events = registry.run_dir(handle.run_id) / "events.ndjson"
+    events.write_text(
+        '{"event": "worker.hung", "t_s": 0.1}\n'
+        '{"event": "worker.hung", "t_s": 0.2}\n'
+        '{"event": "scf.cycle", "t_s": 0.3}\n'
+        "not json\n"
+    )
+    shown = registry.show(handle.run_id)
+    assert f"run {handle.run_id}" in shown
+    assert "worker.hung: 2" in shown
+    assert "scf.cycle: 1" in shown
+
+
+def test_register_degrades_when_root_is_unwritable(tmp_path):
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file, not a directory")
+    registry = RunRegistry(blocker / "runs")
+    assert registry.register("scf", config={}) is None
