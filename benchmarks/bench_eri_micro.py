@@ -197,8 +197,90 @@ def run_backend(output: Path, workers: int = 4, repeats: int = 3) -> dict:
     return record
 
 
-def _default_output(backend: str) -> Path:
-    name = "BENCH_backend.json" if backend == "process" else "BENCH_eri.json"
+def run_schedule(output: Path, nranks: int = 8) -> dict:
+    """Distribution-strategy matrix: imbalance vs. counter traffic.
+
+    Drains every scheduler strategy over two quartet-cost workloads —
+    uniform (every ``ij`` task equally expensive) and skewed (the real
+    Schwarz-surviving ket-pair counts of the graphene fixture) — with a
+    deterministic cost clock: at each step the rank with the smallest
+    accumulated cost draws next, and every counter/queue RPC the
+    strategy incurs is charged at 5% of the mean task cost.  Emits
+    ``BENCH_sched.json`` with flat, machine-independent keys (pure
+    arithmetic, no wall timing) so CI can gate on them exactly.
+    """
+    import numpy as np
+
+    from repro.chem.basis import BasisSet
+    from repro.chem.graphene import bilayer_graphene
+    from repro.core.screening import Screening
+    from repro.integrals.schwarz import schwarz_matrix
+    from repro.parallel.scheduler import SCHEDULE_NAMES, make_scheduler
+
+    basis = BasisSet(bilayer_graphene(2), "sto-3g")
+    screening = Screening(schwarz_matrix(basis), 1e-10)
+    skewed = screening.pair_survivor_counts().astype(float)
+    ntasks = int(skewed.size)
+    workloads = {"uniform": np.ones(ntasks), "skewed": skewed}
+
+    def drain(schedule: str, costs) -> dict:
+        sch = make_scheduler(
+            schedule, ntasks, nranks,
+            costs=costs if schedule in ("static", "steal") else None,
+            seed=11,
+        )
+        fetch = 0.05 * float(costs.mean())
+        clock = [0.0] * nranks
+        done = [False] * nranks
+        traffic = 0
+        while not all(done):
+            r = min(
+                (c, i) for i, (c, d) in enumerate(zip(clock, done)) if not d
+            )[1]
+            task = sch.next(r)
+            after = sch.counter_traffic()
+            if task is None:
+                done[r] = True
+            else:
+                clock[r] += float(costs[task]) + (after - traffic) * fetch
+            traffic = after
+        loads = [
+            float(sum(costs[t] for t in tasks))
+            for tasks in sch.assignment()
+        ]
+        mean = sum(loads) / len(loads)
+        return {
+            "imbalance": max(loads) / mean if mean > 0 else 1.0,
+            "counter_ops": sch.counter_traffic(),
+            "makespan_units": max(clock),
+        }
+
+    record = {
+        "name": "bench_schedule_matrix",
+        "fixture": "bilayer_graphene(2)/sto-3g",
+        "nranks": nranks,
+        "ntasks": ntasks,
+    }
+    for label, costs in workloads.items():
+        best_sched, best_span = None, float("inf")
+        for sched in SCHEDULE_NAMES:
+            cell = drain(sched, costs)
+            record[f"{label}_{sched}_imbalance"] = cell["imbalance"]
+            record[f"{label}_{sched}_counter_ops"] = cell["counter_ops"]
+            record[f"{label}_{sched}_makespan_units"] = cell["makespan_units"]
+            if cell["makespan_units"] < best_span:
+                best_sched, best_span = sched, cell["makespan_units"]
+        record[f"winner_{label}"] = best_sched
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def _default_output(mode: str) -> Path:
+    name = {
+        "process": "BENCH_backend.json",
+        "schedule": "BENCH_sched.json",
+    }.get(mode, "BENCH_eri.json")
     return Path(__file__).parent / "results" / name
 
 
@@ -274,6 +356,17 @@ def main(argv: list[str] | None = None) -> int:
         help="worker process count for --backend process (default: 4)",
     )
     parser.add_argument(
+        "--schedule", action="store_true",
+        help="run the distribution-strategy matrix instead: drain all "
+             "four schedulers (dlb/static/guided/steal) over uniform "
+             "and skewed quartet-cost workloads and emit "
+             "BENCH_sched.json (deterministic; CI gates on it exactly)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=8,
+        help="rank count for the --schedule matrix (default: 8)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="kernel mode: fail (exit 1) unless the batched path is >= 2x "
              "the scalar path, exactly one Boys call per quartet was "
@@ -282,7 +375,8 @@ def main(argv: list[str] | None = None) -> int:
              "on machines with >= 2 CPUs — a >= 1.5x speedup at 4+ workers",
     )
     args = parser.parse_args(argv)
-    output = args.output or _default_output(args.backend)
+    mode = "schedule" if args.schedule else args.backend
+    output = args.output or _default_output(mode)
     handle, channel, sink = _bench_obs_setup(args, output)
     try:
         rc, record = _bench_run(args, output)
@@ -308,6 +402,34 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _bench_run(args, output: Path) -> tuple[int, dict]:
+    if args.schedule:
+        record = run_schedule(output, nranks=args.ranks)
+        print(f"fixture                : {record['fixture']}")
+        print(f"ranks x tasks          : {record['nranks']} x "
+              f"{record['ntasks']}")
+        for label in ("uniform", "skewed"):
+            for sched in ("dlb", "static", "guided", "steal"):
+                print(f"{label:>8s} {sched:<7s}: "
+                      f"imb {record[f'{label}_{sched}_imbalance']:.4f}  "
+                      f"rpcs {record[f'{label}_{sched}_counter_ops']:>5d}  "
+                      f"makespan {record[f'{label}_{sched}_makespan_units']:.1f}")
+            print(f"{label:>8s} winner : {record[f'winner_{label}']}")
+        print(f"wrote {output}")
+        if args.check:
+            ok = (
+                record["uniform_static_counter_ops"] == 0
+                and record["skewed_static_counter_ops"] == 0
+                and all(
+                    record[f"{w}_{s}_imbalance"] >= 1.0
+                    for w in ("uniform", "skewed")
+                    for s in ("dlb", "static", "guided", "steal")
+                )
+            )
+            if not ok:
+                print("CHECK FAILED", file=sys.stderr)
+                return 1, record
+        return 0, record
+
     if args.backend == "process":
         import os
 

@@ -43,6 +43,7 @@ logger = logging.getLogger("repro.cli")
 
 ALGORITHMS = ("mpi-only", "private-fock", "shared-fock")
 BACKENDS = ("sim", "process")
+SCHEDULES = ("dlb", "static", "guided", "steal")
 DATASETS = ("0.5nm", "1.0nm", "1.5nm", "2.0nm", "5.0nm")
 TARGETS = (
     "table2", "table3", "table4",
@@ -173,6 +174,18 @@ def _add_obs_args(sub: argparse.ArgumentParser) -> None:
 
 def _add_backend_args(sub: argparse.ArgumentParser) -> None:
     """Execution-backend knobs shared by ``scf`` and ``profile``."""
+    sub.add_argument(
+        "--schedule", choices=SCHEDULES, default="dlb",
+        help="task-distribution strategy: 'dlb' is the paper's dynamic "
+             "shared counter (default); 'static' pre-partitions with "
+             "Schwarz work estimates (zero counter traffic); 'guided' "
+             "claims shrinking chunks; 'steal' gives each rank a deque "
+             "and steals deterministically when one drains",
+    )
+    sub.add_argument(
+        "--steal-seed", type=int, default=0, metavar="SEED",
+        help="victim scan-order seed of --schedule steal (default: 0)",
+    )
     sub.add_argument(
         "--backend", choices=BACKENDS, default="sim",
         help="execution backend: 'sim' runs ranks on the deterministic "
@@ -425,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     scf.add_argument("--charge", type=int, default=0)
     scf.add_argument("--uhf", action="store_true")
     scf.add_argument("--multiplicity", type=int, default=1)
+    scf.add_argument(
+        "--incremental", action="store_true",
+        help="delta-density Fock builds after the first cycle, with "
+             "density-aware screening (RHF only)",
+    )
+    scf.add_argument(
+        "--rebuild-every", type=_positive_int, default=10, metavar="N",
+        help="full-rebuild period of --incremental (default: 10)",
+    )
     _add_backend_args(scf)
     _add_cache_args(scf)
     _add_resilience_args(scf, restartable=True)
@@ -612,6 +634,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--system", choices=("theta", "jlse"), default="theta")
     sim.add_argument("--cluster-mode", default="quadrant")
     sim.add_argument("--memory-mode", default="cache")
+    sim.add_argument(
+        "--schedule", choices=SCHEDULES, default="dlb",
+        help="task distribution strategy for the grant model",
+    )
 
     rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     rep.add_argument("target", choices=TARGETS)
@@ -641,8 +667,8 @@ def cmd_scf(args: argparse.Namespace) -> int:
               f"functions, {basis.nshells} shells ({args.basis})")
 
     backend, nranks, backend_options = _backend_setup(args)
-    if args.uhf and backend != "sim":
-        print("error: --backend process is not supported with --uhf",
+    if args.uhf and args.incremental:
+        print("error: --incremental is not supported with --uhf",
               file=sys.stderr)
         return 2
     if backend == "process" and not quiet_enabled():
@@ -688,24 +714,36 @@ def cmd_scf(args: argparse.Namespace) -> int:
     obs.announce()
     try:
         if args.uhf:
-            from repro.core.fock_uhf import UHFPrivateFockBuilder
+            from repro.core.fock_uhf import UHFBuilderAdapter, UHFPrivateFockBuilder
             from repro.integrals.onee import kinetic_matrix, nuclear_matrix
+            from repro.parallel.backend import make_backend
             from repro.scf.uhf import UHF
 
             h = kinetic_matrix(basis) + nuclear_matrix(basis)
-            builder = UHFPrivateFockBuilder(
-                basis, h, nranks=args.ranks, nthreads=args.threads,
+            inner = UHFPrivateFockBuilder(
+                basis, h, nranks=nranks, nthreads=args.threads,
                 eri_cache_mb=_cache_mb(args), fault_plan=plan,
+                schedule=args.schedule, steal_seed=args.steal_seed,
             )
+            backend_obj = make_backend(
+                backend, workers=nranks, **backend_options
+            )
+            fock_builder = backend_obj.wrap_builder(inner)
+            if backend == "process":
+                # The process backend speaks the stacked-density
+                # single-argument protocol; adapt back to (da, db).
+                fock_builder = UHFBuilderAdapter(fock_builder)
             try:
                 res = UHF(basis, multiplicity=args.multiplicity,
-                          fock_builder=builder).run(**run_kwargs)
+                          fock_builder=fock_builder).run(**run_kwargs)
             except SCFConvergenceError as exc:
                 print(f"SCF failed: {exc}", file=sys.stderr)
                 return 1
             except ResilienceError as exc:
                 print(f"unrecoverable fault: {exc}", file=sys.stderr)
                 return 3
+            finally:
+                backend_obj.shutdown()
             print(f"UHF energy   : {res.energy:.10f} Eh "
                   f"(converged={res.converged}, {res.niterations} "
                   f"iterations)")
@@ -730,6 +768,9 @@ def cmd_scf(args: argparse.Namespace) -> int:
                 basis, args.algorithm, nranks=nranks, nthreads=args.threads,
                 backend=backend, backend_options=backend_options,
                 eri_cache_mb=_cache_mb(args), fault_plan=plan,
+                schedule=args.schedule, steal_seed=args.steal_seed,
+                incremental=args.incremental,
+                rebuild_every=args.rebuild_every,
             ) as scf:
                 res = scf.run(**run_kwargs)
         except SCFConvergenceError as exc:
@@ -817,6 +858,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         basis, args.algorithm, nranks=nranks, nthreads=nthreads,
         backend=backend, backend_options=backend_options,
         eri_cache_mb=_cache_mb(args), fault_plan=plan,
+        schedule=args.schedule, steal_seed=args.steal_seed,
     )
     tracer = Tracer()
     registry = MetricsRegistry()
@@ -1210,6 +1252,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             system=system, nodes=args.nodes,
             ranks_per_node=args.ranks_per_node,
             cluster_mode=args.cluster_mode, memory_mode=args.memory_mode,
+            schedule=args.schedule,
         )
     else:
         cfg = RunConfig.hybrid(
@@ -1217,6 +1260,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             ranks_per_node=args.ranks_per_node or 4,
             threads_per_rank=args.threads,
             cluster_mode=args.cluster_mode, memory_mode=args.memory_mode,
+            schedule=args.schedule,
         )
     sim = simulate_fock_build(wl, cfg, calibrated_cost_model())
     if not sim.feasible:

@@ -25,7 +25,7 @@ from repro.integrals.schwarz import schwarz_matrix
 from repro.obs.events import get_event_log
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.parallel.comm import SimComm, SimWorld
-from repro.parallel.dlb import DynamicLoadBalancer
+from repro.parallel.scheduler import SCHEDULE_NAMES, Scheduler, make_scheduler
 from repro.parallel.shared_array import WriteTracker
 from repro.resilience.errors import NonFiniteDensityError
 from repro.resilience.faults import FaultPlan, corrupt_copy, resilient_grants
@@ -265,9 +265,17 @@ class ParallelFockBuilderBase:
         Convenience knob: when ``eri_cache`` is omitted and this is a
         positive MB budget, a cache of that size is created.  ``None``
         (the default) disables caching — the build stays fully direct.
+    schedule:
+        Task-distribution strategy: ``dlb`` (the paper's dynamic
+        counter, default), ``static`` (cost-weighted pre-partition,
+        zero counter traffic), ``guided`` (shrinking chunks), or
+        ``steal`` (per-rank deques with deterministic work stealing).
+    steal_seed:
+        Seed of the ``steal`` strategy's victim scan order.
     dlb_policy:
         Grant policy of the simulated DDI counter (``round_robin`` /
-        ``block`` / ``cost_greedy``).
+        ``block`` / ``cost_greedy``); only meaningful with
+        ``schedule="dlb"``.
     thread_schedule / thread_chunk:
         OpenMP-style schedule of the thread-level loop.
     track_races:
@@ -298,6 +306,8 @@ class ParallelFockBuilderBase:
         tau: float = DEFAULT_TAU,
         eri_cache: QuartetCache | None = None,
         eri_cache_mb: float | None = None,
+        schedule: str = "dlb",
+        steal_seed: int = 0,
         dlb_policy: str = "round_robin",
         thread_schedule: str = "dynamic",
         thread_chunk: int = 1,
@@ -323,6 +333,12 @@ class ParallelFockBuilderBase:
         if screening is None:
             screening = Screening(schwarz_matrix(basis), tau)
         self.screening = screening
+        if schedule not in SCHEDULE_NAMES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; choose from {SCHEDULE_NAMES}"
+            )
+        self.schedule = schedule
+        self.steal_seed = steal_seed
         self.dlb_policy = dlb_policy
         self.thread_schedule = thread_schedule
         self.thread_chunk = thread_chunk
@@ -351,6 +367,26 @@ class ParallelFockBuilderBase:
     def dlb_costs(self) -> np.ndarray | None:
         """Per-task cost estimates under ``cost_greedy`` (else ``None``)."""
         return None
+
+    def work_estimates(self) -> np.ndarray | None:
+        """Per-task work estimates for cost-aware schedules (or ``None``)."""
+        return None
+
+    @property
+    def accumulator_shape(self) -> tuple[int, ...]:
+        """Shape of the per-rank two-electron accumulator ``W``."""
+        return (self.nbf, self.nbf)
+
+    def make_scheduler(self) -> Scheduler:
+        """The build's grant scheduler under the configured strategy."""
+        costs = (
+            self.dlb_costs() if self.schedule == "dlb"
+            else self.work_estimates()
+        )
+        return make_scheduler(
+            self.schedule, self.dlb_ntasks(), self.nranks,
+            costs=costs, policy=self.dlb_policy, seed=self.steal_seed,
+        )
 
     def rank_program(
         self,
@@ -397,7 +433,7 @@ class ParallelFockBuilderBase:
                 "value(s); refusing to build from garbage"
             )
 
-    def _grants(self, dlb: DynamicLoadBalancer, rank: int) -> Iterator[int]:
+    def _grants(self, dlb: Scheduler, rank: int) -> Iterator[int]:
         """Rank's DLB grants, with fault-plan kill/straggler semantics."""
         return resilient_grants(dlb, rank, self.fault_plan, self._build_index)
 

@@ -27,7 +27,6 @@ from repro.core.fock_base import (
 from repro.core.indexing import decode_pair, lmax_for, npairs
 from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
-from repro.parallel.dlb import DynamicLoadBalancer
 
 
 class MPIOnlyFockBuilder(ParallelFockBuilderBase):
@@ -47,6 +46,10 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
     def dlb_costs(self) -> np.ndarray | None:
         if self.dlb_policy != "cost_greedy":
             return None
+        return self.work_estimates()
+
+    def work_estimates(self) -> np.ndarray:
+        """Schwarz-screened surviving-quartet counts per bra pair."""
         return self.screening.pair_survivor_counts()
 
     def rank_program(
@@ -79,10 +82,7 @@ class MPIOnlyFockBuilder(ParallelFockBuilderBase):
         self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
-        dlb = DynamicLoadBalancer(
-            self.dlb_ntasks(), self.nranks, policy=self.dlb_policy,
-            costs=self.dlb_costs(),
-        )
+        dlb = self.make_scheduler()
         results: list[np.ndarray] = []
 
         def rank_main(comm: SimComm) -> None:

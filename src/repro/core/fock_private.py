@@ -27,7 +27,6 @@ from repro.core.fock_base import (
 from repro.core.indexing import lmax_for
 from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
-from repro.parallel.dlb import DynamicLoadBalancer
 from repro.parallel.threads import ThreadTeam
 
 
@@ -100,10 +99,7 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
         self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
-        dlb = DynamicLoadBalancer(
-            self.dlb_ntasks(), self.nranks, policy=self.dlb_policy,
-            costs=self.dlb_costs(),
-        )
+        dlb = self.make_scheduler()
         results: list[np.ndarray] = []
 
         def rank_main(comm: SimComm) -> None:
@@ -130,6 +126,9 @@ class PrivateFockBuilder(ParallelFockBuilderBase):
     def dlb_costs(self) -> np.ndarray | None:
         if self.dlb_policy != "cost_greedy":
             return None
+        return self.work_estimates()
+
+    def work_estimates(self) -> np.ndarray:
         # Cost of MPI task i ~ number of (j, k, l) iterations under it.
         return np.array(
             [float((i + 1) * (i + 1)) for i in range(self.nshells)]

@@ -35,7 +35,6 @@ from repro.core.fock_base import (
 from repro.core.indexing import decode_pair, decode_pairs, npairs
 from repro.obs.tracer import get_tracer
 from repro.parallel.comm import SimComm, SimWorld
-from repro.parallel.dlb import DynamicLoadBalancer
 from repro.parallel.shared_array import WriteTracker
 from repro.parallel.threads import ThreadTeam
 
@@ -159,10 +158,7 @@ class SharedFockBuilder(ParallelFockBuilderBase):
         self._check_density(density)
         tracer = get_tracer()
         world = SimWorld(self.nranks)
-        dlb = DynamicLoadBalancer(
-            self.dlb_ntasks(), self.nranks, policy=self.dlb_policy,
-            costs=self.dlb_costs(),
-        )
+        dlb = self.make_scheduler()
         results: list[np.ndarray] = []
 
         def rank_main(comm: SimComm) -> None:
@@ -221,6 +217,10 @@ class SharedFockBuilder(ParallelFockBuilderBase):
     def dlb_costs(self) -> np.ndarray | None:
         if self.dlb_policy != "cost_greedy":
             return None
+        return self.work_estimates()
+
+    def work_estimates(self) -> np.ndarray:
+        """Schwarz-screened surviving-quartet counts per bra pair."""
         return self.screening.pair_survivor_counts()
 
     def _kl_costs(

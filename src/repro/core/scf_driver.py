@@ -26,6 +26,7 @@ from repro.obs.tracer import get_tracer
 from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.resilience.errors import SCFConvergenceError
 from repro.scf.convergence import ConvergenceCriteria
+from repro.scf.incremental import IncrementalFockBuilder
 from repro.scf.rhf import RHF, SCFResult
 
 AlgorithmName = Literal["mpi-only", "private-fock", "shared-fock"]
@@ -109,9 +110,16 @@ class ParallelSCF:
         Extra keyword arguments for
         :func:`~repro.parallel.backend.make_backend`
         (``schedule_seed``, ``obs_dir``).
+    incremental:
+        Wrap the Fock construction in
+        :class:`~repro.scf.incremental.IncrementalFockBuilder`: after
+        the first cycle only the density *change* is built, with
+        density-aware screening.
+    rebuild_every:
+        Full-rebuild period of the incremental wrapper.
     **builder_kwargs:
-        Forwarded to the Fock builder (``tau``, ``dlb_policy``,
-        ``thread_schedule``, ``track_races``, ...).
+        Forwarded to the Fock builder (``tau``, ``schedule``,
+        ``dlb_policy``, ``thread_schedule``, ``track_races``, ...).
     """
 
     def __init__(
@@ -124,6 +132,8 @@ class ParallelSCF:
         criteria: ConvergenceCriteria | None = None,
         backend: "str | ExecutionBackend" = "sim",
         backend_options: dict | None = None,
+        incremental: bool = False,
+        rebuild_every: int = 10,
         **builder_kwargs,
     ) -> None:
         self.basis = basis
@@ -139,6 +149,12 @@ class ParallelSCF:
             nranks=nranks, nthreads=nthreads, **builder_kwargs,
         )
         self.builder = self.backend.wrap_builder(inner)
+        if incremental:
+            # Wrap *outside* the backend so the delta-density pass and
+            # the tau retune reach sim and process builds identically.
+            self.builder = IncrementalFockBuilder(
+                self.builder, rebuild_every=rebuild_every
+            )
         builder = self.builder
 
         def recording_builder(D: np.ndarray):

@@ -302,6 +302,50 @@ class TimelineAnalysis:
                                    "scf.restart")) or ev.kind == "dlb.rank_failed"
         ]
 
+    @property
+    def schedule(self) -> str:
+        """Distribution strategy observed in the run's ``dlb.reset`` events."""
+        for ev in self.events:
+            if ev.kind == "dlb.reset":
+                return str(ev.fields.get("schedule", "dlb"))
+        return "unknown"
+
+    @property
+    def schedule_advice(self) -> dict[str, str]:
+        """Winning-strategy recommendation for this workload's imbalance.
+
+        A near-flat per-rank busy profile means the grant traffic of a
+        dynamic counter buys nothing — static wins; mild skew is
+        absorbed by guided chunks at a fraction of the counter
+        round-trips; heavy skew needs per-task balancing (dlb or
+        steal — steal when counter latency dominates, i.e. off-node).
+        """
+        imb = self.rank_imbalance
+        observed = self.schedule
+        if imb <= 1.05:
+            recommended = "static"
+            reason = (
+                f"rank imbalance {imb:.3f} <= 1.05: pre-partitioning "
+                "matches the dynamic balance with zero counter traffic"
+            )
+        elif imb <= 1.20:
+            recommended = "guided"
+            reason = (
+                f"rank imbalance {imb:.3f} <= 1.20: shrinking chunks "
+                "absorb the skew with one fetch per chunk"
+            )
+        else:
+            recommended = "steal" if observed == "steal" else "dlb"
+            reason = (
+                f"rank imbalance {imb:.3f} > 1.20: per-task balancing "
+                "needed (dlb; steal when counter latency dominates)"
+            )
+        return {
+            "observed": observed,
+            "recommended": recommended,
+            "reason": reason,
+        }
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready summary (the machine-readable timeline verdict)."""
         return {
@@ -311,6 +355,8 @@ class TimelineAnalysis:
             "thread_imbalance": self.thread_imbalance,
             "dlb_efficiency": self.dlb_efficiency,
             "imbalance_loss_s": self.imbalance_loss_s,
+            "schedule": self.schedule,
+            "schedule_advice": self.schedule_advice,
             "ranks": [
                 {
                     "rank": r.rank,
@@ -565,6 +611,12 @@ def timeline_report(
         f"  imbalance loss                 : "
         f"{analysis.imbalance_loss_s:.6f} s",
         f"  thread imbalance (max/mean)    : {analysis.thread_imbalance:.3f}",
+    ]
+    advice = analysis.schedule_advice
+    lines += [
+        f"  schedule (observed)            : {advice['observed']}",
+        f"  schedule (recommended)         : {advice['recommended']} "
+        f"— {advice['reason']}",
     ]
     if analysis.threads:
         lines += [

@@ -28,6 +28,14 @@ deterministically:
 
 from repro.parallel.comm import CollectiveStats, SimComm, SimWorld
 from repro.parallel.dlb import DynamicLoadBalancer
+from repro.parallel.scheduler import (
+    SCHEDULE_NAMES,
+    GuidedScheduler,
+    Scheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
 from repro.parallel.threads import ThreadTeam, split_chunks
 from repro.parallel.shared_array import RaceError, WriteTracker
 from repro.parallel.reduction import tree_reduce_columns
@@ -38,6 +46,12 @@ __all__ = [
     "SimComm",
     "CollectiveStats",
     "DynamicLoadBalancer",
+    "Scheduler",
+    "SCHEDULE_NAMES",
+    "StaticScheduler",
+    "GuidedScheduler",
+    "WorkStealingScheduler",
+    "make_scheduler",
     "ThreadTeam",
     "split_chunks",
     "WriteTracker",

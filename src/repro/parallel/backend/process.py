@@ -66,7 +66,8 @@ from repro.obs.stream import ObsStreamer
 from repro.obs.telemetry import get_telemetry
 from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.parallel.backend.base import ExecutionBackend
-from repro.parallel.backend.counter import SharedTaskCounter
+from repro.parallel.backend.counter import SharedTaskCounter, SharedWorkBoard
+from repro.parallel.scheduler import steal_victim_order
 from repro.parallel.backend.heartbeat import (
     DEFAULT_INTERVAL_S,
     DEFAULT_TIMEOUT_S,
@@ -93,7 +94,7 @@ class WorkerGeometryError(ValueError):
 def _worker_loop(
     rank: int,
     builder: Any,
-    counter: SharedTaskCounter,
+    counter: Any,
     density: SharedNDArray,
     slabs: SharedNDArray,
     cmd: Any,
@@ -101,7 +102,7 @@ def _worker_loop(
     hb: Any,
     cfg: dict,
 ) -> None:
-    """One worker process: serve ``("build", cycle)`` commands forever.
+    """One worker process: serve ``("build", cycle, tau)`` commands forever.
 
     Everything arrives through fork inheritance (no pickling): the sim
     builder (whose ``rank_program`` we execute), the shared counter,
@@ -145,6 +146,12 @@ def _worker_loop(
                 streamer.close()
             return
         cycle = msg[1]
+        tau = msg[2]
+        if tau != builder.screening.tau:
+            # The parent retuned the screening threshold between builds
+            # (incremental-Fock density screening); follow suit.  The
+            # clone shares the shared-memory Schwarz pages.
+            builder.screening = builder.screening.with_tau(tau)
         if interval is not None:
             beat("start", cycle)
         kill_after = plan.kill_after(rank, cycle) if plan is not None else None
@@ -246,10 +253,10 @@ class ProcessFockBuilder:
         self.workers = workers
         self.build_timeout_s = build_timeout_s
         self._ctx = mp.get_context("fork")
-        nbf = inner.nbf
-        self._density = SharedNDArray((nbf, nbf))
-        self._slabs = SharedNDArray((workers, nbf, nbf))
-        self._counter = SharedTaskCounter(inner.dlb_ntasks(), ctx=self._ctx)
+        shape = tuple(inner.accumulator_shape)
+        self._density = SharedNDArray(shape)
+        self._slabs = SharedNDArray((workers, *shape))
+        self._counter = self._make_counter()
         # Re-home the Schwarz matrix in shared memory *before* any fork:
         # workers then screen against the same physical pages instead of
         # copy-on-write duplicates.
@@ -272,6 +279,42 @@ class ProcessFockBuilder:
             else None
         )
         self._closed = False
+
+    def _make_counter(self) -> Any:
+        """The shared grant source for the configured strategy.
+
+        ``dlb`` keeps the classic monotone counter; the other
+        strategies get a :class:`SharedWorkBoard` whose fixed partition
+        (static/steal) and victim orders come from the deterministic
+        sim scheduler, so sim and process agree on the initial shares.
+        """
+        schedule = getattr(self.inner, "schedule", "dlb")
+        ntasks = self.inner.dlb_ntasks()
+        if schedule == "dlb":
+            return SharedTaskCounter(ntasks, ctx=self._ctx)
+        partition = None
+        victims = None
+        if schedule in ("static", "steal"):
+            partition = self.inner.make_scheduler().assignment()
+        if schedule == "steal":
+            victims = steal_victim_order(
+                self.workers, getattr(self.inner, "steal_seed", 0)
+            )
+        return SharedWorkBoard(
+            ntasks, self.workers, schedule,
+            partition=partition, victim_order=victims, ctx=self._ctx,
+        )
+
+    @property
+    def screening(self):
+        """The wrapped builder's screening (settable: incremental Fock
+        retunes ``tau`` between builds; the new value ships to workers
+        with the next build command)."""
+        return self.inner.screening
+
+    @screening.setter
+    def screening(self, value) -> None:
+        self.inner.screening = value
 
     def __getattr__(self, name: str) -> Any:
         # Geometry/metadata reads (nbf, algorithm_name, basis, ...)
@@ -322,14 +365,15 @@ class ProcessFockBuilder:
             self._ensure_workers()
             if self.heartbeat is not None:
                 self.heartbeat.start_build(cycle)
+            tau = float(self.inner.screening.tau)
             for rank in range(self.workers):
-                self._cmds[rank].put(("build", cycle))
+                self._cmds[rank].put(("build", cycle, tau))
             rrs, dead = self._collect(cycle)
             self._recover(rrs, dead, cycle)
             # Reduce the per-rank slabs in rank order — the same
             # floating-point association as SimWorld's slot reduction.
             with tracer.span("fock/gsumf", backend="process"):
-                W = np.zeros((self.inner.nbf, self.inner.nbf))
+                W = np.zeros(tuple(self.inner.accumulator_shape))
                 for rank in range(self.workers):
                     W += self._slabs.array[rank]
         for rank in range(self.workers):
@@ -416,7 +460,7 @@ class ProcessFockBuilder:
         registry = get_metrics()
         log = get_event_log()
         channel = get_telemetry()
-        leftover = list(range(self._counter.claimed(), self._counter.ntasks))
+        leftover = self._counter.unclaimed()
         for idx, rank in enumerate(sorted(dead)):
             tasks = self._counter.owned(rank)
             if idx == 0 and leftover:

@@ -8,7 +8,9 @@ depends on it (modelled in :mod:`repro.perfsim`).
 
 The simulated balancer therefore pre-computes a grant partition under a
 chosen policy and serves it through the same one-index-at-a-time
-``next(rank)`` interface the algorithms use:
+``next(rank)`` interface the algorithms use (the grant machinery lives
+in :class:`repro.parallel.scheduler.Scheduler`, shared with the static,
+guided, and work-stealing strategies):
 
 ``round_robin``
     Index ``t`` goes to rank ``t % nranks`` — what a real DLB converges
@@ -23,17 +25,14 @@ chosen policy and serves it through the same one-index-at-a-time
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
-
 import numpy as np
 
-from repro.obs.events import get_event_log
-from repro.obs.metrics import get_metrics
+from repro.parallel.scheduler import Scheduler
 
 _POLICIES = ("round_robin", "block", "cost_greedy")
 
 
-class DynamicLoadBalancer:
+class DynamicLoadBalancer(Scheduler):
     """Shared global task counter with a deterministic grant policy.
 
     Parameters
@@ -48,6 +47,8 @@ class DynamicLoadBalancer:
         Per-task cost estimates; required for ``cost_greedy``.
     """
 
+    schedule_name = "dlb"
+
     def __init__(
         self,
         ntasks: int,
@@ -56,22 +57,11 @@ class DynamicLoadBalancer:
         policy: str = "round_robin",
         costs: np.ndarray | None = None,
     ) -> None:
-        if ntasks < 0:
-            raise ValueError("ntasks must be non-negative")
-        if nranks < 1:
-            raise ValueError("nranks must be positive")
+        super().__init__(ntasks, nranks)
         if policy not in _POLICIES:
             raise ValueError(f"unknown DLB policy {policy!r}; choose from {_POLICIES}")
-        self.ntasks = ntasks
-        self.nranks = nranks
         self.policy = policy
-        self._queues: list[list[int]] = [[] for _ in range(nranks)]
-        self._cursor = [0] * nranks
-        self._dead: set[int] = set()
-        self._done_logged: set[int] = set()
-        log = get_event_log()
-        if log is not None:
-            log.emit("dlb.reset", ntasks=ntasks, nranks=nranks, policy=policy)
+        self._emit_reset(policy=policy)
 
         if policy == "round_robin":
             for t in range(ntasks):
@@ -97,90 +87,6 @@ class DynamicLoadBalancer:
             for q in self._queues:
                 q.sort()  # each rank walks its tasks in index order
 
-    def next(self, rank: int) -> int | None:
-        """Next task index for ``rank``, or ``None`` when exhausted.
-
-        This is the simulated ``ddi_dlbnext``: each call advances the
-        rank's cursor through its granted share of the global counter.
-        """
-        if rank in self._dead:
-            return None
-        cur = self._cursor[rank]
-        queue = self._queues[rank]
-        if cur >= len(queue):
-            if rank not in self._done_logged:
-                self._done_logged.add(rank)
-                log = get_event_log()
-                if log is not None:
-                    log.emit("dlb.rank_done", rank=rank, grants=cur)
-            return None
-        self._cursor[rank] = cur + 1
-        registry = get_metrics()
-        if registry is not None:
-            registry.counter("dlb.grants", rank=rank).inc()
-        return queue[cur]
-
-    def iter_rank(self, rank: int) -> Iterator[int]:
-        """Iterate all remaining task indices granted to ``rank``."""
-        while (t := self.next(rank)) is not None:
-            yield t
-
-    def assignment(self) -> list[list[int]]:
-        """The full grant partition (per-rank task index lists)."""
-        return [list(q) for q in self._queues]
-
-    def reset(self) -> None:
-        """Rewind all rank cursors (grants are unchanged; dead ranks stay dead)."""
-        self._cursor = [0] * self.nranks
-        self._done_logged.clear()
-
-    # -- fault hooks --------------------------------------------------------
-
-    def alive(self, rank: int) -> bool:
-        """Whether ``rank`` still draws from the counter."""
-        return rank not in self._dead
-
-    def outstanding(self, rank: int) -> list[int]:
-        """Granted-but-undrawn task indices of ``rank``, grant order."""
-        return list(self._queues[rank][self._cursor[rank]:])
-
-    def fail_rank(self, rank: int, *, requeue: bool = True) -> list[int]:
-        """Declare ``rank`` dead and withdraw its outstanding grants.
-
-        Returns the withdrawn task indices in their original grant
-        order.  With ``requeue=True`` (the DDI runtime's recovery path)
-        they are appended round-robin to the surviving ranks' queues, to
-        be claimed by subsequent ``next()`` draws; with ``requeue=False``
-        the caller owns redistribution (the Fock builders replay them in
-        grant order so recovered results stay bitwise identical).
-        """
-        if not 0 <= rank < self.nranks:
-            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
-        if rank in self._dead:
-            return []
-        tasks = self.outstanding(rank)
-        self._cursor[rank] = len(self._queues[rank])
-        self._dead.add(rank)
-        registry = get_metrics()
-        if registry is not None:
-            registry.counter("dlb.rank_failures").inc()
-            registry.counter("dlb.tasks_withdrawn").inc(len(tasks))
-        log = get_event_log()
-        if log is not None:
-            log.emit(
-                "dlb.rank_failed", rank=rank,
-                withdrawn=len(tasks), requeued=requeue,
-            )
-        if requeue and tasks:
-            survivors = [r for r in range(self.nranks) if r not in self._dead]
-            if not survivors:
-                raise RuntimeError(
-                    f"rank {rank} failed with {len(tasks)} outstanding "
-                    "task(s) and no survivors to re-queue them to"
-                )
-            for idx, t in enumerate(tasks):
-                claimant = survivors[idx % len(survivors)]
-                self._queues[claimant].append(t)
-                if registry is not None:
-                    registry.counter("dlb.tasks_requeued", rank=claimant).inc()
-        return tasks
+    def counter_traffic(self) -> int:
+        # Every grant is one RPC against the shared global counter.
+        return sum(self._cursor)

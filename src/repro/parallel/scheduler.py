@@ -1,0 +1,415 @@
+"""Pluggable task-distribution strategies behind one grant interface.
+
+The paper distributes Fock-build tasks through a shared global counter
+(``ddi_dlbnext``); the HONPAS line of work (arXiv:2009.03559 static,
+arXiv:2009.03555 dynamic) shows that the static/dynamic crossover is
+workload-dependent.  This module factors the grant machinery out of
+:class:`~repro.parallel.dlb.DynamicLoadBalancer` into a common
+:class:`Scheduler` base so four strategies serve the same
+``next(rank) -> int | None`` protocol the rank programs consume:
+
+``dlb``
+    The paper's dynamic shared counter
+    (:class:`~repro.parallel.dlb.DynamicLoadBalancer`): one modeled
+    counter RPC per grant.
+``static``
+    :class:`StaticScheduler` — pre-computed round-robin, or
+    cost-weighted LPT when Schwarz work estimates are available.  Zero
+    counter traffic: every rank knows its share up front.
+``guided``
+    :class:`GuidedScheduler` — OpenMP-style shrinking chunks claimed
+    off a global queue; one modeled RPC per *chunk*.
+``steal``
+    :class:`WorkStealingScheduler` — contiguous per-rank deques;
+    a rank that drains its own deque steals half the tail of the first
+    non-empty victim in a deterministic (seeded) scan order.
+
+All four preserve the contract :func:`repro.resilience.faults
+.resilient_grants` relies on: exactly-once grants, ``fail_rank``
+withdrawal in grant order, and deterministic requeue to survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.obs.events import get_event_log
+from repro.obs.metrics import get_metrics
+
+SCHEDULE_NAMES = ("dlb", "static", "guided", "steal")
+
+
+def steal_victim_order(nranks: int, seed: int = 0) -> list[list[int]]:
+    """Deterministic per-rank victim scan order for work stealing.
+
+    Each rank scans a seeded permutation of the ring
+    ``rank+1, ..., rank+nranks-1 (mod nranks)``.  The same
+    ``(nranks, seed)`` pair always yields the same orders, so a steal
+    schedule is reproducible; different seeds decorrelate which victims
+    get hit first.
+    """
+    orders: list[list[int]] = []
+    for rank in range(nranks):
+        ring = [(rank + d) % nranks for d in range(1, nranks)]
+        rng = np.random.default_rng([int(seed), rank])
+        orders.append([ring[i] for i in rng.permutation(len(ring))])
+    return orders
+
+
+class Scheduler:
+    """Deterministic grant partition served one index at a time.
+
+    Subclasses fill ``self._queues`` (per-rank task-index lists) in
+    their constructors and call :meth:`_emit_reset`; the base class
+    provides the grant cursor, exhaustion logging, fault withdrawal and
+    requeue shared by every strategy.
+    """
+
+    #: Strategy name as selected by ``--schedule``.
+    schedule_name = "static"
+
+    def __init__(self, ntasks: int, nranks: int) -> None:
+        if ntasks < 0:
+            raise ValueError("ntasks must be non-negative")
+        if nranks < 1:
+            raise ValueError("nranks must be positive")
+        self.ntasks = ntasks
+        self.nranks = nranks
+        self._queues: list[list[int]] = [[] for _ in range(nranks)]
+        self._cursor = [0] * nranks
+        self._dead: set[int] = set()
+        self._done_logged: set[int] = set()
+
+    def _emit_reset(self, **fields) -> None:
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "dlb.reset", ntasks=self.ntasks, nranks=self.nranks,
+                schedule=self.schedule_name, **fields,
+            )
+
+    def counter_traffic(self) -> int:
+        """Modeled shared-counter/queue RPCs incurred by grants so far.
+
+        Pre-partitioned strategies need none: every rank knows its
+        share up front.  The dynamic counter pays one per grant, guided
+        one per chunk, stealing one per steal transfer.
+        """
+        return 0
+
+    def next(self, rank: int) -> int | None:
+        """Next task index for ``rank``, or ``None`` when exhausted.
+
+        This is the simulated ``ddi_dlbnext``: each call advances the
+        rank's cursor through its granted share of the global counter.
+        """
+        if rank in self._dead:
+            return None
+        cur = self._cursor[rank]
+        queue = self._queues[rank]
+        if cur >= len(queue):
+            if rank not in self._done_logged:
+                self._done_logged.add(rank)
+                log = get_event_log()
+                if log is not None:
+                    log.emit("dlb.rank_done", rank=rank, grants=cur)
+            return None
+        self._cursor[rank] = cur + 1
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("dlb.grants", rank=rank).inc()
+        return queue[cur]
+
+    def iter_rank(self, rank: int) -> Iterator[int]:
+        """Iterate all remaining task indices granted to ``rank``."""
+        while (t := self.next(rank)) is not None:
+            yield t
+
+    def assignment(self) -> list[list[int]]:
+        """The full grant partition (per-rank task index lists)."""
+        return [list(q) for q in self._queues]
+
+    def reset(self) -> None:
+        """Rewind all rank cursors (grants are unchanged; dead ranks stay dead)."""
+        self._cursor = [0] * self.nranks
+        self._done_logged.clear()
+
+    # -- fault hooks --------------------------------------------------------
+
+    def alive(self, rank: int) -> bool:
+        """Whether ``rank`` still draws from the counter."""
+        return rank not in self._dead
+
+    def outstanding(self, rank: int) -> list[int]:
+        """Granted-but-undrawn task indices of ``rank``, grant order."""
+        return list(self._queues[rank][self._cursor[rank]:])
+
+    def fail_rank(self, rank: int, *, requeue: bool = True) -> list[int]:
+        """Declare ``rank`` dead and withdraw its outstanding grants.
+
+        Returns the withdrawn task indices in their original grant
+        order.  With ``requeue=True`` (the DDI runtime's recovery path)
+        they are appended round-robin to the surviving ranks' queues, to
+        be claimed by subsequent ``next()`` draws; with ``requeue=False``
+        the caller owns redistribution (the Fock builders replay them in
+        grant order so recovered results stay bitwise identical).
+        """
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        if rank in self._dead:
+            return []
+        tasks = self.outstanding(rank)
+        self._cursor[rank] = len(self._queues[rank])
+        self._dead.add(rank)
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("dlb.rank_failures").inc()
+            registry.counter("dlb.tasks_withdrawn").inc(len(tasks))
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "dlb.rank_failed", rank=rank,
+                withdrawn=len(tasks), requeued=requeue,
+            )
+        if requeue and tasks:
+            survivors = [r for r in range(self.nranks) if r not in self._dead]
+            if not survivors:
+                raise RuntimeError(
+                    f"rank {rank} failed with {len(tasks)} outstanding "
+                    "task(s) and no survivors to re-queue them to"
+                )
+            for idx, t in enumerate(tasks):
+                claimant = survivors[idx % len(survivors)]
+                self._queues[claimant].append(t)
+                # A survivor that had already drained (and logged
+                # dlb.rank_done) has work again: un-log it so its next
+                # exhaustion re-emits rank_done with the final grant
+                # count instead of leaving the stale one in the log.
+                self._done_logged.discard(claimant)
+                if registry is not None:
+                    registry.counter("dlb.tasks_requeued", rank=claimant).inc()
+        return tasks
+
+
+class StaticScheduler(Scheduler):
+    """Pre-computed static partition with zero counter traffic.
+
+    Without cost estimates, indices are dealt round-robin (``t`` to
+    rank ``t % nranks``).  With per-task costs (Schwarz work
+    estimates), a longest-processing-time greedy pass balances the
+    estimated load instead; each rank then walks its share in index
+    order.  This is the HONPAS-style static distribution: no runtime
+    coordination at all, so it wins exactly when the estimates are
+    good and the ranks run at the same speed.
+    """
+
+    schedule_name = "static"
+
+    def __init__(
+        self,
+        ntasks: int,
+        nranks: int,
+        *,
+        costs: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(ntasks, nranks)
+        self.weighted = costs is not None
+        if costs is None:
+            for t in range(ntasks):
+                self._queues[t % nranks].append(t)
+        else:
+            costs = np.asarray(costs, dtype=np.float64)
+            if costs.shape != (ntasks,):
+                raise ValueError(
+                    f"costs must have shape ({ntasks},); got {costs.shape}"
+                )
+            loads = np.zeros(nranks)
+            for t in np.argsort(-costs, kind="stable"):
+                r = int(np.argmin(loads))
+                self._queues[r].append(int(t))
+                loads[r] += costs[t]
+            for q in self._queues:
+                q.sort()
+        self._emit_reset(weighted=self.weighted)
+
+
+class GuidedScheduler(Scheduler):
+    """OpenMP-style guided self-scheduling with shrinking chunks.
+
+    Chunks of ``ceil(remaining / nranks)`` tasks (never below
+    ``min_chunk``) are carved off the front of the global index space;
+    under the simulator's equal-speed rank model each chunk goes to the
+    rank with the least accumulated estimated work so far (ties to the
+    lowest rank) — the partition a real guided loop converges to.  One
+    modeled counter RPC is paid per chunk started, so traffic shrinks
+    from ``ntasks`` (dlb) to ``O(nranks * log(ntasks))``.
+    """
+
+    schedule_name = "guided"
+
+    def __init__(
+        self,
+        ntasks: int,
+        nranks: int,
+        *,
+        costs: np.ndarray | None = None,
+        min_chunk: int = 1,
+    ) -> None:
+        super().__init__(ntasks, nranks)
+        if min_chunk < 1:
+            raise ValueError("min_chunk must be positive")
+        if costs is not None:
+            costs = np.asarray(costs, dtype=np.float64)
+            if costs.shape != (ntasks,):
+                raise ValueError(
+                    f"costs must have shape ({ntasks},); got {costs.shape}"
+                )
+        self.min_chunk = min_chunk
+        # Cursor positions (per rank) where each dealt chunk begins,
+        # for the per-chunk traffic model.
+        self._chunk_starts: list[list[int]] = [[] for _ in range(nranks)]
+        loads = np.zeros(nranks)
+        pos = 0
+        nchunks = 0
+        while pos < ntasks:
+            remaining = ntasks - pos
+            size = min(remaining, max(min_chunk, -(-remaining // nranks)))
+            r = int(np.argmin(loads))
+            self._chunk_starts[r].append(len(self._queues[r]))
+            self._queues[r].extend(range(pos, pos + size))
+            loads[r] += (
+                float(costs[pos:pos + size].sum())
+                if costs is not None else float(size)
+            )
+            pos += size
+            nchunks += 1
+        self.nchunks = nchunks
+        self._emit_reset(min_chunk=min_chunk, chunks=nchunks)
+
+    def counter_traffic(self) -> int:
+        return sum(
+            1
+            for r in range(self.nranks)
+            for start in self._chunk_starts[r]
+            if self._cursor[r] > start
+        )
+
+
+class WorkStealingScheduler(Scheduler):
+    """Per-rank deques with deterministic rank-to-rank work stealing.
+
+    Every rank starts with a contiguous block of the index space
+    (cost-balanced boundaries when Schwarz work estimates are
+    available) and pops grants off its own head.  A rank whose deque
+    runs dry scans the other ranks in its seeded victim order
+    (:func:`steal_victim_order`) and moves half of the first non-empty
+    victim's remaining tail onto its own deque.  Tasks move, never
+    copy, so the base class's exactly-once and ``fail_rank`` contracts
+    hold unchanged; the only counter traffic is one transfer per steal.
+    """
+
+    schedule_name = "steal"
+
+    def __init__(
+        self,
+        ntasks: int,
+        nranks: int,
+        *,
+        costs: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(ntasks, nranks)
+        self.seed = int(seed)
+        self.steals = 0
+        self.tasks_stolen = 0
+        if costs is None:
+            bounds = np.linspace(0, ntasks, nranks + 1).astype(int)
+        else:
+            costs = np.asarray(costs, dtype=np.float64)
+            if costs.shape != (ntasks,):
+                raise ValueError(
+                    f"costs must have shape ({ntasks},); got {costs.shape}"
+                )
+            cum = np.concatenate([[0.0], np.cumsum(costs)])
+            if cum[-1] <= 0.0:
+                bounds = np.linspace(0, ntasks, nranks + 1).astype(int)
+            else:
+                targets = cum[-1] * np.arange(nranks + 1) / nranks
+                bounds = np.searchsorted(cum, targets, side="left")
+                bounds[0], bounds[-1] = 0, ntasks
+                bounds = np.maximum.accumulate(bounds)
+        for r in range(nranks):
+            self._queues[r] = list(range(int(bounds[r]), int(bounds[r + 1])))
+        self._victims = steal_victim_order(nranks, self.seed)
+        self._emit_reset(seed=self.seed)
+
+    def counter_traffic(self) -> int:
+        return self.steals
+
+    def next(self, rank: int) -> int | None:
+        if (
+            rank not in self._dead
+            and self._cursor[rank] >= len(self._queues[rank])
+        ):
+            self._steal_into(rank)
+        return super().next(rank)
+
+    def _steal_into(self, rank: int) -> bool:
+        for victim in self._victims[rank]:
+            if victim in self._dead:
+                continue
+            queue = self._queues[victim]
+            avail = len(queue) - self._cursor[victim]
+            if avail <= 0:
+                continue
+            k = (avail + 1) // 2  # steal half the tail, rounded up
+            stolen = queue[len(queue) - k:]
+            del queue[len(queue) - k:]
+            self._queues[rank].extend(stolen)
+            self.steals += 1
+            self.tasks_stolen += k
+            registry = get_metrics()
+            if registry is not None:
+                registry.counter("dlb.steals", rank=rank).inc()
+                registry.counter("dlb.tasks_stolen", rank=rank).inc(k)
+            log = get_event_log()
+            if log is not None:
+                log.emit("dlb.steal", thief=rank, victim=victim, ntasks=k)
+            return True
+        return False
+
+
+def make_scheduler(
+    schedule: str,
+    ntasks: int,
+    nranks: int,
+    *,
+    costs: np.ndarray | None = None,
+    policy: str = "round_robin",
+    seed: int = 0,
+    min_chunk: int = 1,
+) -> Scheduler:
+    """Instantiate a distribution strategy by ``--schedule`` name.
+
+    ``policy`` only applies to ``schedule="dlb"`` (the pre-partition
+    policy of the simulated counter); ``costs`` feeds the cost-weighted
+    variants of every strategy and the ``cost_greedy`` DLB policy.
+    """
+    if schedule == "dlb":
+        from repro.parallel.dlb import DynamicLoadBalancer
+
+        return DynamicLoadBalancer(
+            ntasks, nranks, policy=policy,
+            costs=costs if policy == "cost_greedy" else None,
+        )
+    if schedule == "static":
+        return StaticScheduler(ntasks, nranks, costs=costs)
+    if schedule == "guided":
+        return GuidedScheduler(ntasks, nranks, costs=costs, min_chunk=min_chunk)
+    if schedule == "steal":
+        return WorkStealingScheduler(ntasks, nranks, costs=costs, seed=seed)
+    raise ValueError(
+        f"unknown schedule {schedule!r}; choose from {SCHEDULE_NAMES}"
+    )

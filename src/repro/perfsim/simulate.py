@@ -23,7 +23,11 @@ from repro.machine.memory_modes import MemoryMode, effective_bandwidth_gbs
 from repro.machine.system import SystemSpec, THETA
 from repro.perfsim.affinity import Affinity, placement_throughput
 from repro.perfsim.cost_model import CostModel
-from repro.perfsim.engine import assign_dynamic, thread_loop_makespan
+from repro.perfsim.engine import (
+    SCHEDULE_NAMES,
+    assign_schedule,
+    thread_loop_makespan,
+)
 from repro.perfsim.workload import Workload
 
 
@@ -45,6 +49,7 @@ class RunConfig:
     memory_mode: MemoryMode = MemoryMode.CACHE
     affinity: Affinity = Affinity.BALANCED
     base_per_rank_gb: float = 1.0
+    schedule: str = "dlb"
 
     def __post_init__(self) -> None:
         # Accept plain strings for every enum field (CLI, config files).
@@ -52,6 +57,11 @@ class RunConfig:
         object.__setattr__(self, "cluster_mode", ClusterMode(self.cluster_mode))
         object.__setattr__(self, "memory_mode", MemoryMode(self.memory_mode))
         object.__setattr__(self, "affinity", Affinity(self.affinity))
+        if self.schedule not in SCHEDULE_NAMES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                f"choose from {SCHEDULE_NAMES}"
+            )
 
     @classmethod
     def mpi_only(
@@ -242,16 +252,18 @@ def simulate_fock_build(
         else:
             task_times = work
 
-        asg = assign_dynamic(
-            task_times, R, per_task_overhead=dlb_fetch,
+        asg = assign_schedule(
+            task_times, R, cfg.schedule, per_task_overhead=dlb_fetch,
             multiplicity=wl.stride,
         )
         makespan = asg.makespan
-        # Insignificant draws: pure fetch cost, spread over ranks.
-        makespan += n_insig * wl.stride / R * dlb_fetch
-        # Global DLB counter occupancy floor.
-        occupancy = wl.npair_tasks * cost.dlb_occupancy_us * 1e-6
-        makespan = max(makespan, occupancy)
+        if cfg.schedule == "dlb":
+            # Insignificant draws: pure fetch cost, spread over ranks.
+            makespan += n_insig * wl.stride / R * dlb_fetch
+            # Global DLB counter occupancy floor.  Pre-partitioned and
+            # chunked strategies never serialize on a shared counter.
+            occupancy = wl.npair_tasks * cost.dlb_occupancy_us * 1e-6
+            makespan = max(makespan, occupancy)
         result.imbalance = asg.imbalance
 
         if kind is AlgorithmKind.SHARED_FOCK:
@@ -274,7 +286,9 @@ def simulate_fock_build(
         task_times = (
             thread_loop_makespan_vec(work_i, max_sub, tpr) + 2.0 * barrier
         )
-        asg = assign_dynamic(task_times, R, per_task_overhead=dlb_fetch)
+        asg = assign_schedule(
+            task_times, R, cfg.schedule, per_task_overhead=dlb_fetch,
+        )
         makespan = asg.makespan
         result.imbalance = asg.imbalance
         breakdown["barrier"] = 2.0 * barrier * wl.nshells / max(R, 1)

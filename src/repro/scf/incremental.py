@@ -53,11 +53,18 @@ class IncrementalFockBuilder:
         self.incremental_cycles = 0
         self.full_cycles = 0
 
+    def __getattr__(self, name: str):
+        # Geometry/metadata reads (nranks, nthreads, screening, ...)
+        # delegate to the wrapped builder.
+        return getattr(self.inner, name)
+
     def reset(self) -> None:
         """Drop state; the next call performs a full build."""
         self._last_density = None
         self._last_fock = None
         self._cycle = 0
+        self.incremental_cycles = 0
+        self.full_cycles = 0
 
     def __call__(self, density: np.ndarray):
         self._cycle += 1
@@ -74,8 +81,12 @@ class IncrementalFockBuilder:
             saved_screening = self.inner.screening
             try:
                 if self.density_screening and dmax > 0:
+                    # Clamp at the base threshold: with max|dD| > 1
+                    # (e.g. the first cycles after a restart) the
+                    # unclamped ratio would *lower* tau and make the
+                    # incremental build screen less than a full one.
                     self.inner.screening = saved_screening.with_tau(
-                        saved_screening.tau / dmax
+                        max(saved_screening.tau, saved_screening.tau / dmax)
                     )
                 f_delta, stats = self.inner(delta)
             finally:

@@ -112,6 +112,71 @@ def test_scf_parity_scheduling_seeds(water_sto3g, water_ref, algorithm, seed):
 
 
 @pytest.mark.process
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("schedule", ("static", "guided", "steal"))
+def test_scf_parity_every_schedule(
+    water_sto3g, water_ref, algorithm, schedule
+):
+    """Strategy x algorithm parity: every distribution strategy, on both
+    backends, reproduces the dlb sim reference energy and cycle count —
+    the partition-independence contract that makes ``--schedule`` a pure
+    performance knob."""
+    ref = water_ref[algorithm]
+    sim = _run_scf(water_sto3g, algorithm, schedule=schedule)
+    got = _run_scf(
+        water_sto3g, algorithm, backend="process", schedule=schedule
+    )
+    assert sim.converged and got.converged
+    assert abs(sim.energy - ref.energy) <= ENERGY_TOL
+    assert abs(got.energy - ref.energy) <= ENERGY_TOL
+    assert sim.scf.niterations == ref.scf.niterations
+    assert got.scf.niterations == ref.scf.niterations
+
+
+@pytest.mark.process
+def test_uhf_process_parity(water_sto3g):
+    """UHF on the process backend (newly allowed): the stacked-spin
+    accumulator reproduces the sim-backend UHF energy exactly."""
+    from repro.core.fock_uhf import UHFBuilderAdapter, UHFPrivateFockBuilder
+    from repro.scf.uhf import UHF
+
+    hcore = core_hamiltonian(water_sto3g)
+
+    def run_uhf(backend_name):
+        inner = UHFPrivateFockBuilder(
+            water_sto3g, hcore, nranks=2, nthreads=2
+        )
+        if backend_name == "sim":
+            return UHF(
+                water_sto3g, multiplicity=3, fock_builder=inner
+            ).run()
+        with make_backend("process", workers=2) as be:
+            builder = UHFBuilderAdapter(be.wrap_builder(inner))
+            return UHF(
+                water_sto3g, multiplicity=3, fock_builder=builder
+            ).run()
+
+    ref = run_uhf("sim")
+    got = run_uhf("process")
+    assert ref.converged and got.converged
+    assert abs(got.energy - ref.energy) <= ENERGY_TOL
+    assert got.niterations == ref.niterations
+
+
+@pytest.mark.process
+def test_incremental_process_parity(water_sto3g, water_ref):
+    """--incremental on the process backend: the tau retune ships with
+    every build command, so energy parity holds to the same bound."""
+    ref = water_ref["shared-fock"]
+    got = _run_scf(
+        water_sto3g, "shared-fock", backend="process",
+        incremental=True, rebuild_every=5,
+    )
+    assert got.converged
+    assert abs(got.energy - ref.energy) <= ENERGY_TOL
+
+
+@pytest.mark.process
 @pytest.mark.slow
 def test_scf_parity_graphene(graphene_sto3g):
     """The heavier fixture: a 4-carbon bilayer-graphene patch, shared-fock."""

@@ -61,6 +61,32 @@ def test_simulate_command(capsys):
     assert "Fock-build time" in out
 
 
+def test_simulate_schedule_flag(capsys):
+    rc = main(
+        ["simulate", "--dataset", "0.5nm", "--algorithm", "shared-fock",
+         "--nodes", "1", "--system", "jlse", "--schedule", "static"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fock-build time" in out
+
+
+@pytest.mark.parametrize("schedule", ("static", "guided", "steal"))
+def test_scf_schedule_flag(water_xyz, capsys, schedule):
+    """Every distribution strategy converges to the same water energy."""
+    rc = main(["scf", str(water_xyz), "--schedule", schedule,
+               "--ranks", "2", "--threads", "2"])
+    assert rc == 0
+    assert "-74.94207995" in capsys.readouterr().out
+
+
+def test_scf_incremental_flag(water_xyz, capsys):
+    rc = main(["scf", str(water_xyz), "--incremental",
+               "--rebuild-every", "4", "--ranks", "2", "--threads", "2"])
+    assert rc == 0
+    assert "-74.94207995" in capsys.readouterr().out
+
+
 def test_simulate_infeasible(capsys):
     rc = main(
         ["simulate", "--dataset", "2.0nm", "--algorithm", "mpi-only",
@@ -281,11 +307,26 @@ def test_sim_backend_ignores_workers_with_warning(water_xyz, capsys):
     assert "-74.94207995" in captured.out
 
 
-def test_uhf_rejects_process_backend(tmp_path, capsys):
+@pytest.mark.process
+def test_uhf_runs_on_process_backend(tmp_path, capsys):
+    """Scheduling is decoupled from the Fock builders, so the old
+    --uhf/--backend process rejection is gone: the run completes and
+    matches the sim-backend UHF energy."""
     xyz = tmp_path / "h.xyz"
     xyz.write_text("1\nhydrogen atom\nH 0.0 0.0 0.0\n")
     rc = main(["scf", str(xyz), "--uhf", "--multiplicity", "2",
                "--backend", "process", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "-0.46658" in out
+    assert "<S^2>" in out
+
+
+def test_uhf_rejects_incremental(tmp_path, capsys):
+    xyz = tmp_path / "h.xyz"
+    xyz.write_text("1\nhydrogen atom\nH 0.0 0.0 0.0\n")
+    rc = main(["scf", str(xyz), "--uhf", "--multiplicity", "2",
+               "--incremental"])
     assert rc == 2
     assert "not supported with --uhf" in capsys.readouterr().err
 

@@ -27,6 +27,10 @@ from hypothesis import given, settings, strategies as st  # noqa: E402
 
 from repro.parallel.backend import SharedTaskCounter  # noqa: E402
 from repro.parallel.dlb import DynamicLoadBalancer  # noqa: E402
+from repro.parallel.scheduler import (  # noqa: E402
+    SCHEDULE_NAMES,
+    make_scheduler,
+)
 from repro.parallel.reduction import (  # noqa: E402
     PERMUTATION_TOLERANCE,
     padded_rows,
@@ -131,6 +135,153 @@ def test_dlb_fail_without_requeue_returns_grant_order(data, ntasks, nranks):
     survivors = [r for r in range(nranks) if r != victim]
     rest = _drain_interleaved(data, dlb.next, nranks, alive=survivors)
     assert set(rest).isdisjoint(withdrawn)
+
+
+def _draw_costs(data, ntasks):
+    return np.array(
+        data.draw(
+            st.lists(
+                st.floats(0.01, 100.0, allow_nan=False),
+                min_size=ntasks, max_size=ntasks,
+            ),
+            label="costs",
+        )
+    )
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=0, max_value=40),
+    nranks=st.integers(min_value=1, max_value=6),
+    schedule=st.sampled_from(SCHEDULE_NAMES),
+    weighted=st.booleans(),
+)
+def test_every_schedule_grants_each_index_exactly_once(
+    data, ntasks, nranks, schedule, weighted
+):
+    """The exactly-once contract is strategy-independent: dynamic
+    counter, static pre-partition, guided chunks, and work stealing all
+    serve every task index exactly once under any rank interleaving."""
+    costs = _draw_costs(data, ntasks) if weighted else None
+    sch = make_scheduler(
+        schedule, ntasks, nranks, costs=costs,
+        policy="cost_greedy" if weighted and schedule == "dlb" else "round_robin",
+        seed=data.draw(st.integers(0, 7), label="seed"),
+    )
+    granted = _drain_interleaved(data, sch.next, nranks)
+    assert Counter(granted) == Counter(range(ntasks))
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=1, max_value=40),
+    nranks=st.integers(min_value=2, max_value=6),
+    schedule=st.sampled_from(SCHEDULE_NAMES),
+)
+def test_every_schedule_exactly_once_through_fail_rank_requeue(
+    data, ntasks, nranks, schedule
+):
+    """Kill-with-requeue preserves exactly-once under every strategy."""
+    sch = make_scheduler(
+        schedule, ntasks, nranks,
+        seed=data.draw(st.integers(0, 7), label="seed"),
+    )
+    victim = data.draw(st.integers(0, nranks - 1), label="victim")
+
+    prefix: list[int] = []
+    for _ in range(data.draw(st.integers(0, ntasks), label="ndraws")):
+        rank = data.draw(st.integers(0, nranks - 1), label="rank")
+        t = sch.next(rank)
+        if t is not None:
+            prefix.append(t)
+
+    withdrawn = sch.fail_rank(victim, requeue=True)
+    assert set(withdrawn).isdisjoint(prefix)
+
+    survivors = [r for r in range(nranks) if r != victim]
+    rest = _drain_interleaved(data, sch.next, nranks, alive=survivors)
+    assert sch.next(victim) is None
+    assert Counter(prefix + rest) == Counter(range(ntasks))
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=1, max_value=40),
+    nranks=st.integers(min_value=2, max_value=6),
+    schedule=st.sampled_from(SCHEDULE_NAMES),
+)
+def test_every_schedule_fail_without_requeue_grant_order(
+    data, ntasks, nranks, schedule
+):
+    """``requeue=False`` returns exactly the victim's outstanding grants
+    in grant order (the replay contract), for every strategy, even after
+    arbitrary draws (including steals) elsewhere."""
+    sch = make_scheduler(
+        schedule, ntasks, nranks,
+        seed=data.draw(st.integers(0, 7), label="seed"),
+    )
+    victim = data.draw(st.integers(0, nranks - 1), label="victim")
+    drawn: list[int] = []
+    for _ in range(data.draw(st.integers(0, ntasks), label="ndraws")):
+        rank = data.draw(st.integers(0, nranks - 1), label="rank")
+        t = sch.next(rank)
+        if t is not None and rank == victim:
+            drawn.append(t)
+    expected = sch.outstanding(victim)
+    withdrawn = sch.fail_rank(victim, requeue=False)
+    assert withdrawn == expected
+    survivors = [r for r in range(nranks) if r != victim]
+    rest = _drain_interleaved(data, sch.next, nranks, alive=survivors)
+    assert set(rest).isdisjoint(withdrawn)
+    combined = drawn + withdrawn + rest
+    assert len(combined) == len(set(combined))
+
+
+def _cost_clock_drain(sch, costs, nranks):
+    """Deterministic drain: the rank with the least accumulated cost
+    draws next (ties to the lowest rank) — the bench's grant clock."""
+    clock = [0.0] * nranks
+    done = [False] * nranks
+    granted: list[list[int]] = [[] for _ in range(nranks)]
+    while not all(done):
+        rank = min(
+            (c, r) for r, (c, d) in enumerate(zip(clock, done)) if not d
+        )[1]
+        t = sch.next(rank)
+        if t is None:
+            done[rank] = True
+        else:
+            granted[rank].append(t)
+            clock[rank] += float(costs[t])
+    return granted
+
+
+@settings(max_examples=25, **COMMON)
+@given(
+    data=st.data(),
+    ntasks=st.integers(min_value=1, max_value=60),
+    nranks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_steal_same_seed_same_grant_partition(data, ntasks, nranks, seed):
+    """Work stealing is deterministic: under the deterministic
+    cost-clock drain, the same seed yields the same per-rank grant
+    partition every time (the victim order is a pure function of
+    ``(nranks, seed)``)."""
+    costs = _draw_costs(data, ntasks)
+    runs = [
+        _cost_clock_drain(
+            make_scheduler("steal", ntasks, nranks, costs=costs, seed=seed),
+            costs, nranks,
+        )
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+    flat = [t for tasks in runs[0] for t in tasks]
+    assert Counter(flat) == Counter(range(ntasks))
 
 
 @settings(max_examples=15, **COMMON)

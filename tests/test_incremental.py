@@ -76,8 +76,9 @@ def test_reset(water_sto3g, shared_builder):
     inc(d)
     inc(d)
     inc.reset()
+    assert inc.full_cycles == 0 and inc.incremental_cycles == 0
     inc(d)
-    assert inc.full_cycles == 2
+    assert inc.full_cycles == 1  # restarted from a clean slate
 
 
 def test_invalid_rebuild_interval(shared_builder):
@@ -95,3 +96,67 @@ def test_screening_restored_after_call(water_sto3g, shared_builder):
     inc(d)
     inc(d + 1e-9)
     assert shared_builder.screening.tau == tau0
+
+
+class _FakeScreening:
+    def __init__(self, tau):
+        self.tau = tau
+
+    def with_tau(self, tau):
+        return _FakeScreening(tau)
+
+
+class _FakeBuilder:
+    """Linear stand-in for a Fock builder that records the active tau."""
+
+    def __init__(self, n=4, tau=1e-10):
+        self.hcore = np.zeros((n, n))
+        self.screening = _FakeScreening(tau)
+        self.taus_used: list[float] = []
+
+    def __call__(self, density):
+        self.taus_used.append(self.screening.tau)
+        return self.hcore + 2.0 * density, None
+
+
+def test_density_screening_tau_clamped_at_base():
+    """A large density change (max|dD| > 1) must not *lower* tau: the
+    incremental build may screen more than a full build, never less."""
+    builder = _FakeBuilder(tau=1e-10)
+    inc = IncrementalFockBuilder(builder)
+    n = 4
+    inc(np.eye(n))                              # cycle 1: full
+    inc(6.0 * np.eye(n))                        # max|dD| = 5 > 1
+    assert builder.taus_used[1] == pytest.approx(1e-10)
+    inc(6.0 * np.eye(n) + 1e-4 * np.eye(n))     # max|dD| = 1e-4 < 1
+    assert builder.taus_used[2] == pytest.approx(1e-6)
+    # Never left modified behind.
+    assert builder.screening.tau == pytest.approx(1e-10)
+
+
+def test_reset_zeroes_cycle_counters():
+    builder = _FakeBuilder()
+    inc = IncrementalFockBuilder(builder)
+    d = np.eye(4)
+    inc(d)
+    inc(d + 0.1 * np.eye(4))
+    assert inc.full_cycles == 1 and inc.incremental_cycles == 1
+    inc.reset()
+    assert inc.full_cycles == 0
+    assert inc.incremental_cycles == 0
+
+
+def test_parallel_scf_incremental_energy_parity(water_sto3g):
+    """--incremental through ParallelSCF changes no physics: the final
+    energy agrees with the non-incremental run to 1e-10 Eh."""
+    from repro.core.scf_driver import ParallelSCF
+
+    ref = ParallelSCF(water_sto3g, "shared-fock", nranks=2, nthreads=2).run()
+    scf = ParallelSCF(
+        water_sto3g, "shared-fock", nranks=2, nthreads=2,
+        incremental=True, rebuild_every=5,
+    )
+    res = scf.run()
+    assert res.converged
+    assert abs(res.energy - ref.energy) <= 1e-10
+    assert scf.builder.incremental_cycles > 0
