@@ -21,6 +21,13 @@ Commands
 ``runs``       Query the persistent run registry (``.repro/runs``):
                list runs, show one run's record, or diff two runs'
                final metrics through the comparison engine.
+``serve``      Run the SCF job service: a daemon with a durable
+               (write-ahead-journaled) queue, a supervised worker
+               fleet, retry/backoff, and graceful degradation.
+``submit``     Submit an SCF job to a running service.
+``status``     One job's record, or the whole queue + fleet health.
+``result``     Wait for a job and print its result.
+``cancel``     Cancel a queued or running job.
 ``dataset``    Describe one of the paper's graphene datasets (sizes,
                screening statistics).
 ``simulate``   Predict the Fock-build time of one run configuration.
@@ -71,6 +78,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0 (0 legitimately disables retries)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
     return value
 
 
@@ -621,6 +639,160 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", type=Path, default=None, metavar="OUT",
         help="also write the human-readable report to this file",
     )
+
+    def _add_service_dir(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--service-dir", type=Path,
+            default=Path(".repro") / "service", metavar="DIR",
+            help="service state directory: socket, journal, job "
+                 "checkpoints (default: .repro/service)",
+        )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the SCF job service (durable queue + worker fleet)",
+    )
+    _add_service_dir(srv)
+    srv.add_argument(
+        "--fleet", type=_positive_int, default=2, metavar="N",
+        help="persistent job-worker processes (default: 2)",
+    )
+    srv.add_argument(
+        "--max-queue-depth", type=_positive_int, default=64, metavar="N",
+        help="open-job admission bound; submissions beyond it are shed "
+             "with a typed ServiceOverloaded error (default: 64)",
+    )
+    srv.add_argument(
+        "--job-timeout", type=_positive_float, default=120.0, metavar="S",
+        help="per-job wall-clock deadline; a job past it has its worker "
+             "killed and is retried (default: 120)",
+    )
+    srv.add_argument(
+        "--max-retries", type=_nonneg_int, default=3, metavar="N",
+        help="retry budget per job after the first attempt; 0 disables "
+             "retries (default: 3)",
+    )
+    srv.add_argument(
+        "--backoff-base", type=_positive_float, default=0.25, metavar="S",
+        help="delay before the first retry; doubles per attempt, "
+             "capped by --backoff-cap (default: 0.25)",
+    )
+    srv.add_argument(
+        "--backoff-cap", type=_positive_float, default=30.0, metavar="S",
+        help="upper bound on any single retry delay (default: 30)",
+    )
+    srv.add_argument(
+        "--retry-seed", type=int, default=0, metavar="SEED",
+        help="backoff-jitter seed: the same seed reproduces the same "
+             "retry schedule for every (job, attempt) (default: 0)",
+    )
+    srv.add_argument(
+        "--process-budget", type=_nonneg_int, default=4, metavar="N",
+        help="real process-backend workers the fleet may run at once; "
+             "jobs beyond it degrade to the sim backend (default: 4)",
+    )
+    srv.add_argument(
+        "--heartbeat-timeout", type=_positive_float, default=10.0,
+        metavar="S",
+        help="seconds of worker silence before a busy slot is flagged "
+             "suspect (worker.hung) (default: 10)",
+    )
+    srv.add_argument(
+        "--checkpoint-every", type=_positive_int, default=1, metavar="N",
+        help="job checkpoint write interval in SCF cycles (default: 1; "
+             "retries and daemon restarts resume from the checkpoint)",
+    )
+    srv.add_argument(
+        "--idle-exit", type=_positive_float, default=None, metavar="S",
+        help="exit after this many seconds with no open jobs "
+             "(default: run until signalled; used by CI)",
+    )
+    srv.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root (default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+
+    sbm = sub.add_parser("submit", help="submit an SCF job to the service")
+    sbm.add_argument("xyz", type=Path, help="XYZ geometry file")
+    _add_service_dir(sbm)
+    sbm.add_argument("--basis", default="sto-3g")
+    sbm.add_argument("--algorithm", choices=ALGORITHMS, default="shared-fock")
+    sbm.add_argument("--ranks", type=_positive_int, default=1)
+    sbm.add_argument("--threads", type=_positive_int, default=1)
+    sbm.add_argument("--charge", type=int, default=0)
+    sbm.add_argument(
+        "--backend", choices=BACKENDS, default="sim",
+        help="execution backend for this job; 'process' jobs beyond the "
+             "service's --process-budget degrade to 'sim'",
+    )
+    sbm.add_argument("--schedule", choices=SCHEDULES, default="dlb")
+    sbm.add_argument(
+        "--incremental", action="store_true",
+        help="delta-density Fock builds after the first cycle",
+    )
+    sbm.add_argument(
+        "--max-iterations", type=_positive_int, default=None, metavar="N",
+        help="SCF iteration cap for this job (convergence failure is "
+             "terminal: it is never retried)",
+    )
+    _add_cache_args(sbm)
+    sbm.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="deterministic intra-run fault-injection spec "
+             "(see 'repro scf --help')",
+    )
+    sbm.add_argument(
+        "--tag", default=None, metavar="NAME",
+        help="free-form label shown in status listings",
+    )
+    sbm.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    sbm.add_argument(
+        "--timeout", type=_positive_float, default=600.0, metavar="S",
+        help="client-side wait budget with --wait (default: 600)",
+    )
+    # Chaos knobs (used by the resilience suites; harmless elsewhere).
+    sbm.add_argument(
+        "--chaos-die-on-attempt", type=_positive_int, default=None,
+        metavar="K", help="worker kills itself mid-job on attempt K "
+                          "(tests worker-loss retry)",
+    )
+    sbm.add_argument(
+        "--chaos-cycle-delay", type=_nonneg_float, default=0.0, metavar="S",
+        help="sleep this long before every Fock build (slow-job chaos)",
+    )
+    sbm.add_argument(
+        "--chaos-sleep", type=_nonneg_float, default=0.0, metavar="S",
+        help="wedge the worker this long before starting (tests "
+             "hung-job detection and deadline kills)",
+    )
+
+    sta = sub.add_parser(
+        "status", help="job or queue status from a running service",
+    )
+    sta.add_argument(
+        "job", nargs="?", default=None, metavar="JOB",
+        help="job id or unambiguous prefix (default: list the queue)",
+    )
+    _add_service_dir(sta)
+
+    rslt = sub.add_parser("result", help="wait for a job; print its result")
+    rslt.add_argument("job", metavar="JOB", help="job id or prefix")
+    _add_service_dir(rslt)
+    rslt.add_argument(
+        "--no-wait", action="store_true",
+        help="print the current state instead of blocking until terminal",
+    )
+    rslt.add_argument(
+        "--timeout", type=_positive_float, default=600.0, metavar="S",
+        help="client-side wait budget (default: 600)",
+    )
+
+    cncl = sub.add_parser("cancel", help="cancel a queued or running job")
+    cncl.add_argument("job", metavar="JOB", help="job id or prefix")
+    _add_service_dir(cncl)
 
     ds = sub.add_parser("dataset", help="describe a benchmark dataset")
     ds.add_argument("label", choices=DATASETS)
@@ -1224,6 +1396,205 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 1 if any(c.verdict == "fail" for c in comparisons) else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logctl import quiet_enabled
+    from repro.service import (
+        DaemonAlreadyRunning,
+        ServiceConfig,
+        ServiceDaemon,
+        service_socket_path,
+    )
+
+    config = ServiceConfig(
+        service_dir=str(args.service_dir),
+        fleet=args.fleet,
+        max_queue_depth=args.max_queue_depth,
+        job_timeout_s=args.job_timeout,
+        max_retries=args.max_retries,
+        backoff_base_s=args.backoff_base,
+        backoff_cap_s=args.backoff_cap,
+        retry_seed=args.retry_seed,
+        process_budget=args.process_budget,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        checkpoint_every=args.checkpoint_every,
+        idle_exit_s=args.idle_exit,
+        runs_dir=str(args.runs_dir) if args.runs_dir is not None else None,
+    )
+    try:
+        daemon = ServiceDaemon(config).start()
+    except DaemonAlreadyRunning as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # bad flag combination (e.g. cap < base)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not quiet_enabled():
+        print(f"service      : {service_socket_path(args.service_dir)}")
+        print(f"journal      : {args.service_dir / 'journal.ndjson'}")
+        print(f"telemetry    : repro monitor "
+              f"{args.service_dir / 'telemetry.sock'}")
+        if daemon.queue.recovered_jobs:
+            print(f"recovered    : {len(daemon.queue.recovered_jobs)} "
+                  f"interrupted job(s) re-queued from the journal")
+    try:
+        daemon.install_signal_handlers()
+        daemon.run_forever()
+    finally:
+        daemon.close()
+    return 0
+
+
+def _job_client(args: argparse.Namespace):
+    from repro.service import JobClient
+
+    return JobClient(args.service_dir)
+
+
+def _print_job(job: dict, *, verbose: bool = True) -> None:
+    state = job["state"]
+    line = f"job {job['id']}: {state}"
+    if job.get("tag"):
+        line += f" ({job['tag']})"
+    if job.get("degraded"):
+        line += " [degraded to sim backend]"
+    print(line)
+    if not verbose:
+        return
+    if state == "done" and job.get("result"):
+        res = job["result"]
+        print(f"RHF energy   : {res['energy']:.10f} Eh "
+              f"(converged={res['converged']}, {res['iterations']} "
+              f"iterations, attempt {job['attempt']})")
+        if res.get("resumed"):
+            print("resumed      : from checkpoint")
+    elif state in ("failed", "cancelled") and job.get("error"):
+        print(f"error        : [{job.get('error_type')}] {job['error']}")
+    elif state == "retrying":
+        import time as _time
+
+        wait = max(0.0, job.get("not_before", 0.0) - _time.time())
+        print(f"retry        : attempt {job['attempt']} failed "
+              f"([{job.get('error_type')}]); next try in {wait:.2f}s")
+    if job.get("run_id"):
+        print(f"run id       : {job['run_id']}")
+
+
+def _handle_service_errors(fn):
+    """Map typed service errors to exit codes (3 unavailable, 4 shed)."""
+    from repro.service import (
+        JobNotFound,
+        JobSpecError,
+        ServiceOverloaded,
+        ServiceUnavailable,
+    )
+
+    try:
+        return fn()
+    except ServiceOverloaded as exc:
+        print(f"error: service overloaded: {exc}", file=sys.stderr)
+        return 4
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except (JobNotFound, JobSpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.obs.logctl import quiet_enabled
+
+    spec = {
+        "xyz": args.xyz.read_text(),
+        "basis": args.basis,
+        "algorithm": args.algorithm,
+        "nranks": args.ranks,
+        "nthreads": args.threads,
+        "backend": args.backend,
+        "schedule": args.schedule,
+        "charge": args.charge,
+        "eri_cache_mb": _cache_mb(args),
+        "incremental": args.incremental,
+        "max_iterations": args.max_iterations,
+        "fault_plan": args.fault_plan,
+        "tag": args.tag or args.xyz.stem,
+        "sleep_s": args.chaos_sleep,
+        "cycle_delay_s": args.chaos_cycle_delay,
+        "die_on_attempt": args.chaos_die_on_attempt,
+    }
+
+    def run() -> int:
+        client = _job_client(args)
+        job = client.submit(spec)
+        if not quiet_enabled():
+            print(f"submitted    : {job['id']} "
+                  f"({job['tag']}, {job['basis']}, {job['algorithm']})")
+        else:
+            print(job["id"])
+        if not args.wait:
+            return 0
+        done = client.result(job["id"], timeout_s=args.timeout)
+        _print_job(done)
+        return 0 if done["state"] == "done" else 1
+
+    return _handle_service_errors(run)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    def run() -> int:
+        client = _job_client(args)
+        if args.job is not None:
+            _print_job(client.status(args.job))
+            return 0
+        listing = client.status()
+        depth, fleet = listing["depth"], listing["fleet"]
+        print(f"queue        : {depth['open']} open "
+              f"({depth['pending']} pending, {depth['running']} running, "
+              f"{depth['retrying']} retrying) / {depth['done']} done, "
+              f"{depth['failed']} failed, {depth['cancelled']} cancelled")
+        print(f"fleet        : {fleet['busy']}/{fleet['size']} busy, "
+              f"{fleet['lost_workers']} lost, {fleet['timeouts']} timed "
+              f"out, {fleet['degraded_jobs']} degraded, "
+              f"{fleet['respawns']} respawns")
+        for job in listing["jobs"]:
+            tag = f"  ({job['tag']})" if job.get("tag") else ""
+            flags = " [degraded]" if job.get("degraded") else ""
+            print(f"  {job['id']}  {job['state']:<9} "
+                  f"attempt {job['attempt']}{flags}{tag}")
+        return 0
+
+    return _handle_service_errors(run)
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    def run() -> int:
+        from repro.service import JobTimeoutError
+
+        client = _job_client(args)
+        try:
+            job = client.result(
+                args.job, wait=not args.no_wait, timeout_s=args.timeout,
+            )
+        except JobTimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 5
+        _print_job(job)
+        if job["state"] == "done":
+            return 0
+        return 1 if job["state"] in ("failed", "cancelled") else 5
+
+    return _handle_service_errors(run)
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    def run() -> int:
+        client = _job_client(args)
+        _print_job(client.cancel(args.job), verbose=False)
+        return 0
+
+    return _handle_service_errors(run)
+
+
 def cmd_dataset(args: argparse.Namespace) -> int:
     from repro.chem.graphene import PAPER_DATASETS
     from repro.perfsim.workload import Workload
@@ -1374,6 +1745,11 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "monitor": cmd_monitor,
         "runs": cmd_runs,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "result": cmd_result,
+        "cancel": cmd_cancel,
         "timeline": cmd_timeline,
         "compare": cmd_compare,
         "dataset": cmd_dataset,

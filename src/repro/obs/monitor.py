@@ -53,6 +53,18 @@ NOTABLE_KINDS = frozenset(
         "scf.restart",
         "run.start",
         "run.end",
+        # SCF-as-a-service job lifecycle (repro serve).
+        "job.submitted",
+        "job.dispatched",
+        "job.done",
+        "job.failed",
+        "job.retrying",
+        "job.cancelled",
+        "service.start",
+        "service.stop",
+        "service.overloaded",
+        "service.degraded",
+        "service.recovered",
     }
 )
 

@@ -195,6 +195,17 @@ class TelemetryChannel:
         """Where :meth:`serve` is listening, or ``None``."""
         return self._socket_path
 
+    def server_fileno(self) -> int | None:
+        """The listening socket's fd, or ``None`` when not serving.
+
+        Exposed so daemons that fork worker processes can close the
+        inherited listen fd in the child — a child holding it would
+        keep the socket accepting connections after the parent dies,
+        defeating stale-socket liveness probes.
+        """
+        with self._lock:
+            return None if self._server is None else self._server.fileno()
+
     def serve(self, path: str | Path) -> Path | None:
         """Listen on a unix socket; subscribers may connect mid-run.
 

@@ -500,31 +500,41 @@ class ProcessFockBuilder:
     # -- teardown ------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop workers, restore the builder, release shared memory."""
+        """Stop workers, restore the builder, release shared memory.
+
+        The shared blocks are released in a ``finally`` so a failure
+        anywhere earlier (a wedged worker, a broken command queue, the
+        Schwarz copy-back) cannot leak ``/dev/shm`` segments — under a
+        long-running job service the leak would be cumulative.
+        """
         if self._closed:
             return
         self._closed = True
-        for rank, proc in enumerate(self._procs):
-            if proc is not None and proc.is_alive():
-                try:
-                    self._cmds[rank].put(("stop",))
-                except Exception:  # pragma: no cover - teardown best effort
-                    pass
-        for proc in self._procs:
-            if proc is None:
-                continue
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - teardown best effort
-                proc.terminate()
+        try:
+            for rank, proc in enumerate(self._procs):
+                if proc is not None and proc.is_alive():
+                    try:
+                        self._cmds[rank].put(("stop",))
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+            for proc in self._procs:
+                if proc is None:
+                    continue
                 proc.join(timeout=5)
-        self._procs = [None] * self.workers
-        # Give the builder back a private Schwarz matrix before the
-        # shared block goes away.
-        self.inner.screening.Q = np.array(self._schwarz.array, copy=True)
-        self._schwarz.close(unlink=True)
-        self._density.close(unlink=True)
-        self._slabs.close(unlink=True)
-        self._counter.close()
+                if proc.is_alive():  # pragma: no cover - best effort
+                    proc.terminate()
+                    proc.join(timeout=5)
+            self._procs = [None] * self.workers
+            # Give the builder back a private Schwarz matrix before the
+            # shared block goes away.
+            self.inner.screening.Q = np.array(self._schwarz.array, copy=True)
+        finally:
+            for block in (self._schwarz, self._density, self._slabs):
+                try:
+                    block.close(unlink=True)
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            self._counter.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:

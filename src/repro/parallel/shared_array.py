@@ -23,10 +23,35 @@ Two layers live here:
 
 from __future__ import annotations
 
+import atexit
+import os
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
+
+#: Every live owner-side block, for the atexit sweep.  WeakSet: a block
+#: that was closed and garbage-collected needs no sweeping.
+_live_blocks: "weakref.WeakSet[SharedNDArray]" = weakref.WeakSet()
+
+
+def _sweep_leaked_blocks() -> None:
+    """Unlink owner blocks that were never closed (crash-path cleanup).
+
+    A process that dies between allocating its shared matrices and the
+    backend's ``shutdown()`` would otherwise leak ``/dev/shm`` segments
+    until reboot — under a long-running job service that leak is
+    cumulative and eventually fails *other* jobs with ``ENOSPC``.  The
+    owner-pid guard matters: forked workers inherit this registry, and
+    a worker's atexit must not unlink blocks its parent still maps.
+    """
+    for block in list(_live_blocks):
+        if block._owner and block._owner_pid == os.getpid():
+            block.close()
+
+
+atexit.register(_sweep_leaked_blocks)
 
 
 class SharedNDArray:
@@ -39,7 +64,10 @@ class SharedNDArray:
 
     The parent owns the block's lifetime: call :meth:`close` with
     ``unlink=True`` exactly once when the backend shuts down.  Views
-    handed out by :attr:`array` stay valid until then.
+    handed out by :attr:`array` stay valid until then.  Owner blocks
+    still live at interpreter exit are swept automatically (in the
+    creating process only), so an abnormal teardown does not leak
+    ``/dev/shm`` segments.
     """
 
     def __init__(
@@ -60,11 +88,14 @@ class SharedNDArray:
                 raise ValueError("attaching to an existing block needs a name")
             self._shm = shared_memory.SharedMemory(name=name)
         self._owner = create
+        self._owner_pid = os.getpid()
+        self._closed = False
         self.array = np.ndarray(
             self.shape, dtype=self.dtype, buffer=self._shm.buf
         )
         if create:
             self.array.fill(0)
+            _live_blocks.add(self)
 
     @property
     def name(self) -> str:
@@ -79,13 +110,24 @@ class SharedNDArray:
         self.array.fill(value)
 
     def close(self, *, unlink: bool | None = None) -> None:
-        """Release the mapping; the creating process also unlinks."""
+        """Release the mapping; the creating process also unlinks.
+
+        Idempotent: the crash-path sweep and an orderly ``shutdown()``
+        may both reach the same block.  A forked child closing an
+        inherited owner block only unmaps — unlinking is reserved for
+        the creating pid, which still needs the segment.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _live_blocks.discard(self)
         self.array = None  # drop the exported view before unmapping
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - stray external views
             pass
-        if unlink if unlink is not None else self._owner:
+        want_unlink = unlink if unlink is not None else self._owner
+        if want_unlink and self._owner_pid == os.getpid():
             try:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone

@@ -1,0 +1,558 @@
+"""The ``repro serve`` daemon: SCF-as-a-service over a unix socket.
+
+One process, three moving parts:
+
+* an **accept loop** answering NDJSON requests (submit / status /
+  result / cancel / ping / shutdown) on the service socket — each
+  connection is one request, handled on its own short-lived thread;
+* the **dispatch loop** (the main thread): folds fleet outcomes into
+  the durable queue, applies the retry policy, hands ready jobs to
+  idle workers, enforces nothing itself — deadlines and liveness live
+  in :class:`~repro.service.supervisor.WorkerFleet`;
+* the PR-6 observability stack: a telemetry channel served from the
+  service directory (``repro monitor --socket``), ``job.*`` /
+  ``service.*`` records for every lifecycle edge, and a run-registry
+  record per job plus one for the daemon itself.
+
+Crash model end to end: submissions and transitions are fsync'd to the
+journal *before* they are acknowledged, checkpoints land under
+``<service-dir>/jobs/<id>/``, so a SIGKILL'd daemon restarted on the
+same directory replays the journal, re-queues exactly the jobs that
+were in flight, and resumes them from their checkpoints — acknowledged
+results are never lost, never re-run.
+
+Startup handles the classic AF_UNIX footgun: a socket *path* survives
+its owner's death.  The daemon probes an existing path first — a live
+daemon answers and startup aborts with
+:class:`~repro.service.errors.DaemonAlreadyRunning`; a dead one
+refuses the connect and the stale path is unlinked and re-bound.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import EventLog, set_event_log
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.registry import RunHandle, RunRegistry
+from repro.obs.telemetry import TelemetryChannel, set_telemetry
+from repro.service.client import recv_line, probe_socket, service_socket_path
+from repro.service.errors import (
+    DaemonAlreadyRunning,
+    JobNotFound,
+    ServiceError,
+)
+from repro.service.jobs import JobSpec
+from repro.service.queue import DEFAULT_MAX_DEPTH, DurableJobQueue
+from repro.service.retry import TERMINAL, RetryPolicy, classify
+from repro.service.supervisor import (
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    DEFAULT_JOB_TIMEOUT_S,
+    JobOutcome,
+    WorkerFleet,
+)
+
+logger = logging.getLogger("repro.service.daemon")
+
+#: Dispatch-loop tick.
+TICK_S = 0.05
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a daemon needs, CLI-shaped and JSON-able."""
+
+    service_dir: str = str(Path(".repro") / "service")
+    fleet: int = 2
+    max_queue_depth: int = DEFAULT_MAX_DEPTH
+    job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S
+    max_retries: int = 3
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 30.0
+    retry_seed: int = 0
+    process_budget: int = 4
+    heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S
+    checkpoint_every: int = 1
+    idle_exit_s: float | None = None
+    runs_dir: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class ServiceDaemon:
+    """The long-running job service.  Use as a context manager:
+
+    >>> with ServiceDaemon(ServiceConfig(service_dir=d)) as daemon:
+    ...     daemon.run_forever()
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.service_dir = Path(config.service_dir)
+        self.jobs_dir = self.service_dir / "jobs"
+        self.socket_path = service_socket_path(self.service_dir)
+        self.pid_path = self.service_dir / "daemon.pid"
+        self.policy = RetryPolicy(
+            max_retries=config.max_retries,
+            backoff_base_s=config.backoff_base_s,
+            backoff_cap_s=config.backoff_cap_s,
+            seed=config.retry_seed,
+        )
+        self.queue: DurableJobQueue | None = None
+        self.fleet: WorkerFleet | None = None
+        self.channel: TelemetryChannel | None = None
+        self.registry: RunRegistry | None = None
+        self.serve_run: RunHandle | None = None
+        self._job_runs: dict[str, RunHandle] = {}
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+        self._last_active = time.monotonic()
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.retries = 0
+        self.overloads = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServiceDaemon":
+        """Bind the socket, replay the journal, spawn the fleet."""
+        if self._started:
+            return self
+        self.service_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+        # Stale-socket reclaim: probe before bind.
+        if self.socket_path.exists():
+            if probe_socket(self.socket_path):
+                raise DaemonAlreadyRunning(
+                    f"a live daemon already answers at {self.socket_path}"
+                )
+            logger.warning("reclaiming stale service socket %s",
+                           self.socket_path)
+            self.socket_path.unlink()
+
+        self._server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._server.bind(str(self.socket_path))
+        self._server.listen(16)
+        self.pid_path.write_text(f"{os.getpid()}\n")
+
+        self.registry = RunRegistry(self.config.runs_dir)
+        self.serve_run = self.registry.register(
+            "serve", config=self.config.to_dict()
+        )
+
+        self.channel = TelemetryChannel()
+        set_telemetry(self.channel)
+        set_event_log(EventLog())
+        set_metrics(MetricsRegistry())
+        telemetry_fd = None
+        if self.channel.serve(self.service_dir / "telemetry.sock"):
+            telemetry_fd = self.channel.server_fileno()
+        if self.serve_run is not None:
+            from repro.obs.telemetry import NDJSONTelemetrySink
+
+            self._sink = NDJSONTelemetrySink(
+                self.serve_run.path("telemetry.ndjson")
+            )
+            self.channel.subscribe(self._sink)
+            self.serve_run.add_artifact(
+                "telemetry", self.serve_run.path("telemetry.ndjson")
+            )
+        else:
+            self._sink = None
+
+        self.queue = DurableJobQueue(
+            self.service_dir / "journal.ndjson",
+            max_depth=self.config.max_queue_depth,
+        )
+        if self.queue.recovered_jobs:
+            logger.info("journal replay recovered %d in-flight job(s): %s",
+                        len(self.queue.recovered_jobs),
+                        ", ".join(self.queue.recovered_jobs))
+            self.channel.publish(
+                "service.recovered",
+                jobs=list(self.queue.recovered_jobs),
+                replayed=self.queue.replayed,
+            )
+
+        # Workers are forked from here on; every fd they must NOT
+        # inherit goes in this list (see _service_worker_loop).
+        close_fds = [self._server.fileno(), self.queue.fileno()]
+        if telemetry_fd is not None:
+            close_fds.append(telemetry_fd)
+        self.fleet = WorkerFleet(
+            self.config.fleet,
+            job_timeout_s=self.config.job_timeout_s,
+            heartbeat_timeout_s=self.config.heartbeat_timeout_s,
+            process_budget=self.config.process_budget,
+            checkpoint_every=self.config.checkpoint_every,
+            close_fds=tuple(close_fds),
+        )
+
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        self._last_active = time.monotonic()
+        self.channel.publish(
+            "service.start",
+            pid=os.getpid(),
+            socket=str(self.socket_path),
+            fleet=self.config.fleet,
+            max_queue_depth=self.config.max_queue_depth,
+            recovered=len(self.queue.recovered_jobs),
+        )
+        logger.info("service listening at %s (fleet=%d, pid=%d)",
+                    self.socket_path, self.config.fleet, os.getpid())
+        return self
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT request a graceful stop (main thread only)."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda *_: self._stop.set())
+
+    def run_forever(self) -> None:
+        """The dispatch loop; returns on stop request or idle exit."""
+        assert self.queue is not None and self.fleet is not None
+        while not self._stop.is_set():
+            for outcome in self.fleet.poll():
+                self._fold_outcome(outcome)
+            self._dispatch_ready()
+            if self._idle_expired():
+                logger.info("idle for %gs; exiting",
+                            self.config.idle_exit_s)
+                break
+            self._stop.wait(TICK_S)
+
+    def _idle_expired(self) -> bool:
+        if self.config.idle_exit_s is None:
+            return False
+        busy = (self.queue.depth()["open"] > 0
+                or bool(self.fleet.busy_slots()))
+        now = time.monotonic()
+        if busy:
+            self._last_active = now
+            return False
+        return now - self._last_active > self.config.idle_exit_s
+
+    def close(self) -> None:
+        """Graceful teardown: fleet, sockets, registry record, pid file.
+
+        Running jobs are *not* drained — their workers are killed and
+        the journal keeps them ``running``, so the next daemon on this
+        directory recovers them.  That asymmetry is deliberate: stop
+        must be fast and is exactly the crash path, minus the crash.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self.fleet is not None:
+            self.fleet.shutdown()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2)
+        if self.channel is not None:
+            self.channel.publish(
+                "service.stop",
+                jobs_done=self.jobs_done,
+                jobs_failed=self.jobs_failed,
+            )
+        if self.serve_run is not None:
+            self.serve_run.finalize(
+                status="done",
+                summary=self._summary(),
+            )
+        if self.channel is not None:
+            self.channel.close()
+            set_telemetry(None)
+        if getattr(self, "_sink", None) is not None:
+            self._sink.close()
+        if self.queue is not None:
+            self.queue.close()
+        for path in (self.socket_path, self.pid_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _summary(self) -> dict[str, Any]:
+        stats = self.fleet.stats() if self.fleet is not None else {}
+        depth = self.queue.depth() if self.queue is not None else {}
+        return {
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "retries": self.retries,
+            "overloads": self.overloads,
+            "degraded_jobs": stats.get("degraded_jobs", 0),
+            "timeouts": stats.get("timeouts", 0),
+            "lost_workers": stats.get("lost_workers", 0),
+            "queue": depth,
+        }
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _checkpoint_path(self, job_id: str) -> Path:
+        job_dir = self.jobs_dir / job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        return job_dir / "checkpoint.npz"
+
+    def _dispatch_ready(self) -> None:
+        while self.fleet.idle_slots():
+            job = self.queue.claim_next()
+            if job is None:
+                return
+            ckpt = self._checkpoint_path(job.id)
+            info = self.fleet.dispatch(job, checkpoint=ckpt, restart=ckpt)
+            extra: dict[str, Any] = {}
+            if job.id not in self._job_runs and self.registry is not None:
+                handle = self.registry.register("job", config={
+                    "job_id": job.id,
+                    "tag": job.spec.tag,
+                    "basis": job.spec.basis,
+                    "algorithm": job.spec.algorithm,
+                    "backend": job.spec.backend,
+                    "nranks": job.spec.nranks,
+                    "nthreads": job.spec.nthreads,
+                })
+                if handle is not None:
+                    self._job_runs[job.id] = handle
+                    extra["run_id"] = handle.run_id
+            if info["degraded"] and not job.degraded:
+                extra["degraded"] = True
+                self.channel.publish(
+                    "service.degraded",
+                    job=job.id,
+                    reason="process budget exhausted",
+                    budget=self.config.process_budget,
+                    in_use=self.fleet.process_ranks_in_use(),
+                )
+                handle = self._job_runs.get(job.id)
+                if handle is not None:
+                    handle.record["degraded"] = True
+                    handle.save()
+            if extra:
+                self.queue.transition(job.id, "running", **extra)
+            self.channel.publish(
+                "job.dispatched",
+                job=job.id,
+                attempt=job.attempt,
+                slot=info["slot"],
+                degraded=bool(info["degraded"] or job.degraded),
+                resumed=job.interrupted or job.attempt > 1,
+            )
+
+    def _fold_outcome(self, outcome: JobOutcome) -> None:
+        try:
+            job = self.queue.get(outcome.job_id)
+        except JobNotFound:  # pragma: no cover - cannot happen via fleet
+            logger.warning("outcome for unknown job %s", outcome.job_id)
+            return
+        if outcome.kind == "done":
+            result = outcome.payload
+            self.jobs_done += 1
+            self.queue.transition(
+                job.id, "done",
+                result=result,
+                degraded=bool(job.degraded or result.get("degraded")),
+                error=None, error_type=None,
+            )
+            self.channel.publish(
+                "job.done",
+                job=job.id,
+                attempt=job.attempt,
+                energy=result.get("energy"),
+                iterations=result.get("iterations"),
+                degraded=bool(job.degraded),
+                warm_setup=result.get("warm_setup"),
+            )
+            self._finalize_job_run(job.id, "done", summary={
+                "energy": result.get("energy"),
+                "converged": result.get("converged"),
+                "iterations": result.get("iterations"),
+                "attempts": job.attempt,
+                "degraded": bool(job.degraded),
+            })
+            return
+
+        # failed / lost / timeout
+        error = outcome.payload.get("error", "job failed")
+        error_type = outcome.payload.get("error_type")
+        verdict = outcome.payload.get("classification") or classify(error_type)
+        if verdict != TERMINAL and self.policy.should_retry(
+            job.attempt, error_type
+        ):
+            delay = self.policy.delay_s(job.id, job.attempt)
+            self.retries += 1
+            self.queue.transition(
+                job.id, "retrying",
+                not_before=time.time() + delay,
+                error=error, error_type=error_type,
+            )
+            self.channel.publish(
+                "job.retrying",
+                job=job.id,
+                attempt=job.attempt,
+                delay_s=round(delay, 4),
+                error_type=error_type,
+                outcome=outcome.kind,
+            )
+        else:
+            self.jobs_failed += 1
+            self.queue.transition(
+                job.id, "failed", error=error, error_type=error_type,
+            )
+            self.channel.publish(
+                "job.failed",
+                job=job.id,
+                attempt=job.attempt,
+                error_type=error_type,
+                terminal=verdict == TERMINAL,
+                outcome=outcome.kind,
+            )
+            self._finalize_job_run(job.id, "failed", summary={
+                "error": error,
+                "error_type": error_type,
+                "attempts": job.attempt,
+            })
+
+    def _finalize_job_run(self, job_id: str, status: str,
+                          summary: dict[str, Any] | None = None) -> None:
+        handle = self._job_runs.pop(job_id, None)
+        if handle is not None:
+            handle.finalize(status=status, summary=summary)
+
+    # -- request handling ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while True:
+            try:
+                client, _ = self._server.accept()
+            except OSError:
+                return  # server closed
+            threading.Thread(
+                target=self._serve_client, args=(client,),
+                name="service-request", daemon=True,
+            ).start()
+
+    def _serve_client(self, client: socket.socket) -> None:
+        client.settimeout(10.0)
+        try:
+            try:
+                request = json.loads(recv_line(client).decode() or "{}")
+                response = self._handle(request)
+            except ServiceError as exc:
+                response = {"ok": False, "error": str(exc),
+                            "error_type": type(exc).__name__}
+                for attr in ("depth", "max_depth"):
+                    value = getattr(exc, attr, None)
+                    if value is not None:
+                        response[attr] = value
+            except Exception as exc:
+                logger.exception("request handling failed")
+                response = {"ok": False, "error": str(exc) or repr(exc),
+                            "error_type": type(exc).__name__}
+            client.sendall((json.dumps(response) + "\n").encode())
+        except OSError:
+            pass  # client went away; nothing to tell it
+        finally:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+    def _handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        cmd = request.get("cmd")
+        if cmd == "ping":
+            return {
+                "ok": True,
+                "pid": os.getpid(),
+                "socket": str(self.socket_path),
+                "depth": self.queue.depth(),
+                "fleet": self.fleet.stats(),
+            }
+        if cmd == "submit":
+            spec = JobSpec.from_dict(request.get("spec") or {})
+            try:
+                job = self.queue.submit(spec)
+            except ServiceError:
+                self.overloads += 1
+                self.channel.publish(
+                    "service.overloaded",
+                    depth=self.queue.depth()["open"],
+                    max_depth=self.config.max_queue_depth,
+                )
+                raise
+            self._last_active = time.monotonic()
+            self.channel.publish(
+                "job.submitted",
+                job=job.id, tag=spec.tag, basis=spec.basis,
+                algorithm=spec.algorithm, backend=spec.backend,
+            )
+            return {"ok": True, "job": job.public_dict()}
+        if cmd == "status":
+            job_id = request.get("id")
+            if job_id is None:
+                return {
+                    "ok": True,
+                    "jobs": [j.public_dict() for j in self.queue],
+                    "depth": self.queue.depth(),
+                    "fleet": self.fleet.stats(),
+                    "summary": self._summary(),
+                }
+            return {"ok": True, "job": self.queue.get(job_id).public_dict()}
+        if cmd == "cancel":
+            job = self.queue.get(request.get("id") or "")
+            was_open = job.open
+            if job.state == "running":
+                self.fleet.cancel_job(job.id)
+                self.queue.transition(job.id, "cancelled",
+                                      error="cancelled while running",
+                                      error_type="JobCancelled")
+            else:
+                self.queue.cancel(job.id)  # idempotent on terminal jobs
+            if was_open and job.state == "cancelled":
+                self.jobs_cancelled += 1
+                self.channel.publish("job.cancelled", job=job.id)
+                self._finalize_job_run(job.id, "cancelled")
+            return {"ok": True, "job": job.public_dict()}
+        if cmd == "shutdown":
+            self._stop.set()
+            return {"ok": True, "pid": os.getpid()}
+        raise ServiceError(f"unknown command {cmd!r}")
+
+
+def serve(config: ServiceConfig) -> int:
+    """Run a daemon to completion (the ``repro serve`` entry point)."""
+    with ServiceDaemon(config) as daemon:
+        daemon.install_signal_handlers()
+        daemon.run_forever()
+    return 0

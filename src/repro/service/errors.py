@@ -1,0 +1,85 @@
+"""Typed errors of the SCF service layer.
+
+Mirrors :mod:`repro.resilience.errors`: every failure mode a client or
+the daemon can hit has its own class, so callers react programmatically
+— back off and resubmit on :class:`ServiceOverloaded`, treat
+:class:`JobNotFound` as a user error, keep retrying connects on
+:class:`ServiceUnavailable` while a daemon restarts.
+
+Errors cross the NDJSON wire as ``{"ok": false, "error": <message>,
+"error_type": <class name>}``; :func:`error_from_response` rebuilds the
+typed exception on the client side.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ServiceError(RuntimeError):
+    """Base class of all service-layer errors."""
+
+
+class ServiceUnavailable(ServiceError):
+    """No daemon is listening on the service socket."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected a submission: queue depth at bound.
+
+    Attributes
+    ----------
+    depth:
+        Open jobs (pending + running + retrying) at rejection time.
+    max_depth:
+        The configured admission bound.
+    """
+
+    def __init__(self, message: str, *, depth: int | None = None,
+                 max_depth: int | None = None) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class JobNotFound(ServiceError, KeyError):
+    """No job with the requested id (or ambiguous prefix)."""
+
+
+class JobSpecError(ServiceError, ValueError):
+    """A job specification is malformed (bad algorithm, backend, ...)."""
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its wall-clock deadline and its worker was killed."""
+
+
+class WorkerLostError(ServiceError):
+    """A fleet worker process died while running a job."""
+
+
+class DaemonAlreadyRunning(ServiceError):
+    """Another live daemon already owns the service socket."""
+
+
+#: Wire ``error_type`` -> exception class, for client-side rehydration.
+_WIRE_TYPES: dict[str, type[ServiceError]] = {
+    cls.__name__: cls
+    for cls in (
+        ServiceError, ServiceUnavailable, ServiceOverloaded, JobNotFound,
+        JobSpecError, JobTimeoutError, WorkerLostError, DaemonAlreadyRunning,
+    )
+}
+
+
+def error_from_response(response: dict[str, Any]) -> ServiceError:
+    """Rebuild the typed exception carried by an ``{"ok": false}`` reply."""
+    message = str(response.get("error", "service request failed"))
+    cls = _WIRE_TYPES.get(str(response.get("error_type")), ServiceError)
+    if cls is ServiceOverloaded:
+        return ServiceOverloaded(
+            message,
+            depth=response.get("depth"),
+            max_depth=response.get("max_depth"),
+        )
+    return cls(message)

@@ -1,0 +1,577 @@
+"""Supervised worker fleet: persistent processes that run SCF jobs.
+
+The fleet is the service's execution layer.  Each *slot* owns one
+long-lived forked worker process running :func:`_service_worker_loop`:
+jobs arrive over a per-slot command queue, results and heartbeats come
+back over one shared outcome queue.  Workers persist across jobs, so a
+stream of requests for the same system reuses the warm
+molecule/basis/Schwarz setup (:func:`run_job`'s ``setup_cache``) —
+the job-level analogue of the paper's persistent MPI fleet amortizing
+setup across Fock builds.
+
+Supervision reuses the PR-6 :class:`~repro.parallel.backend.heartbeat
+.HeartbeatMonitor` verbatim — one "rank" per slot, one "cycle" per job
+attempt: workers beat at job start and at every Fock-build boundary
+(rate-limited), a busy slot silent past the deadline turns ``suspect``
+and emits ``worker.hung``, a dead process is marked ``lost``.  On top
+of liveness the fleet enforces **per-job deadlines**: a job running
+past ``job_timeout_s`` has its worker SIGKILLed and respawned, and the
+outcome surfaces as a retryable :class:`~repro.service.errors
+.JobTimeoutError`.
+
+Graceful degradation: the fleet carries a *process budget* — the
+number of real backend worker processes it may run concurrently.  A
+job that asks for ``backend: process`` beyond the budget (or whose
+process backend fails to come up, e.g. shared memory exhaustion) is
+executed on the sim backend instead, flagged ``degraded`` — the
+service answers slowly rather than failing loudly.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.parallel.backend.heartbeat import HeartbeatMonitor, make_beat
+from repro.service.errors import JobSpecError
+from repro.service.jobs import Job, JobSpec
+from repro.service.retry import classify
+
+logger = logging.getLogger("repro.service.supervisor")
+
+#: Exit code of a chaos-killed service worker (mirrors the backend's).
+KILLED_EXIT_CODE = 17
+
+#: Per-worker warm-setup cache entries (molecule + basis pairs).
+SETUP_CACHE_SIZE = 8
+
+#: Default job wall-clock deadline.
+DEFAULT_JOB_TIMEOUT_S = 120.0
+
+#: Default heartbeat-silence deadline before a busy slot turns suspect.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+
+#: Default worker beat rate limit.
+DEFAULT_BEAT_INTERVAL_S = 0.25
+
+
+def run_job(
+    spec: JobSpec,
+    *,
+    attempt: int = 1,
+    checkpoint: str | Path | None = None,
+    restart: str | Path | None = None,
+    checkpoint_every: int = 1,
+    beat: Callable[[int, str], None] | None = None,
+    setup_cache: dict[str, Any] | None = None,
+    force_backend: str | None = None,
+    allow_exit: bool = False,
+) -> dict[str, Any]:
+    """Execute one SCF job; returns the acknowledgeable result summary.
+
+    Used by the fleet's worker processes and — for the degraded inline
+    path — by the daemon itself, which is why the chaos ``os._exit``
+    knob is gated on ``allow_exit`` (a worker may die for the chaos
+    suite; the daemon must not).
+
+    ``checkpoint`` / ``restart`` are the PR-3 ``.npz`` mechanics: the
+    job checkpoints every ``checkpoint_every`` cycles, and a retry or a
+    journal-replayed job resumes from the last checkpoint bitwise
+    identically instead of recomputing converged cycles.
+    """
+    from repro.chem.basis import BasisSet
+    from repro.chem.molecule import Molecule
+    from repro.core.scf_driver import ParallelSCF
+    from repro.resilience import CheckpointManager, FaultPlan
+    from repro.scf.convergence import ConvergenceCriteria
+
+    spec.validate()
+    backend = force_backend or spec.backend
+    degraded = backend != spec.backend
+
+    warm_setup = False
+    key = spec.setup_key()
+    if setup_cache is not None and key in setup_cache:
+        mol, basis = setup_cache[key]
+        warm_setup = True
+    else:
+        mol = Molecule.from_xyz(spec.xyz, charge=spec.charge)
+        basis = BasisSet(mol, spec.basis)
+        if setup_cache is not None:
+            if len(setup_cache) >= SETUP_CACHE_SIZE:
+                setup_cache.pop(next(iter(setup_cache)))
+            setup_cache[key] = (mol, basis)
+
+    plan = (
+        FaultPlan.from_spec(spec.fault_plan, nranks=spec.nranks)
+        if spec.fault_plan else None
+    )
+    criteria = (
+        ConvergenceCriteria(max_iterations=spec.max_iterations)
+        if spec.max_iterations is not None else None
+    )
+
+    def build_scf(backend_name: str) -> ParallelSCF:
+        return ParallelSCF(
+            basis, spec.algorithm,
+            nranks=spec.nranks, nthreads=spec.nthreads,
+            criteria=criteria, backend=backend_name,
+            eri_cache_mb=spec.eri_cache_mb, fault_plan=plan,
+            schedule=spec.schedule, incremental=spec.incremental,
+        )
+
+    try:
+        scf = build_scf(backend)
+    except OSError as exc:
+        if backend != "process":
+            raise
+        # Real worker processes could not come up (fork limit, shared
+        # memory exhaustion): degrade to the sim backend rather than
+        # failing the job.
+        logger.warning("process backend unavailable (%s); degrading "
+                       "job to sim backend", exc)
+        backend, degraded = "sim", True
+        scf = build_scf(backend)
+
+    die_here = (
+        allow_exit
+        and spec.die_on_attempt is not None
+        and attempt == spec.die_on_attempt
+    )
+    orig_builder = scf.rhf.fock_builder
+    builds = 0
+
+    def wrapped_builder(D):
+        nonlocal builds
+        if die_here and builds >= spec.die_after_builds:
+            # Chaos: this *service worker* dies for real, mid-job —
+            # no result message, a half-finished SCF, a journal entry
+            # stuck at "running".  The supervisor must notice, respawn,
+            # and the retry must resume from the checkpoint.
+            os._exit(KILLED_EXIT_CODE)
+        if spec.cycle_delay_s > 0:
+            time.sleep(spec.cycle_delay_s)
+        if beat is not None:
+            beat(builds, "build")
+        F, stats = orig_builder(D)
+        builds += 1
+        return F, stats
+
+    scf.rhf.fock_builder = wrapped_builder
+
+    run_kwargs: dict[str, Any] = {}
+    if checkpoint is not None:
+        run_kwargs["checkpoint"] = CheckpointManager(
+            checkpoint, every=checkpoint_every
+        )
+    if restart is not None and Path(restart).exists():
+        run_kwargs["restart"] = restart
+
+    try:
+        res = scf.run(**run_kwargs)
+    finally:
+        scf.shutdown()
+
+    return {
+        "energy": float(res.energy),
+        "converged": bool(res.converged),
+        "iterations": len(res.scf.iterations),
+        "quartets_computed": int(res.total_quartets_computed),
+        "backend": backend,
+        "degraded": degraded,
+        "warm_setup": warm_setup,
+        "resumed": "restart" in run_kwargs,
+    }
+
+
+def _service_worker_loop(slot: int, cmd: Any, out: Any,
+                         cfg: dict[str, Any]) -> None:
+    """One persistent fleet worker: serve job commands until ``stop``.
+
+    Forked from the daemon, so the first order of business is shedding
+    inherited parent state: the daemon's listening sockets (a child
+    holding the listen fd would make a dead daemon's socket accept
+    connections forever) and the parent's global telemetry/event/metric
+    instruments (publishing from here would interleave onto the
+    parent's subscriber sockets).
+    """
+    from repro.obs.events import set_event_log
+    from repro.obs.metrics import MetricsRegistry, set_metrics
+    from repro.obs.telemetry import set_telemetry
+
+    for fd in cfg.get("close_fds", ()):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    set_telemetry(None)
+    set_event_log(None)
+    set_metrics(MetricsRegistry())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # daemon handles ^C
+
+    pid = os.getpid()
+    interval = cfg.get("beat_interval_s", DEFAULT_BEAT_INTERVAL_S)
+    setup_cache: dict[str, Any] = {}
+
+    while True:
+        msg = cmd.get()
+        if msg[0] == "stop":
+            return
+        job = msg[1]
+        spec = JobSpec.from_dict(job["spec"])
+        job_id, attempt = job["id"], int(job["attempt"])
+        last_beat = 0.0
+
+        def beat(builds: int, phase: str) -> None:
+            """Rate-limited in-band heartbeat (never blocks, never raises)."""
+            nonlocal last_beat
+            now = time.monotonic()
+            if phase == "build" and now - last_beat < interval:
+                return
+            last_beat = now
+            try:
+                out.put_nowait(("beat", make_beat(
+                    slot, pid, attempt, phase,
+                    t=time.perf_counter(), claimed=builds,
+                )))
+            except Exception:  # pragma: no cover - full queue
+                pass
+
+        beat(0, "start")
+        if spec.sleep_s > 0:
+            # The wedge knob: silence after the start beat is exactly
+            # what the hung-job detector is built to catch.
+            time.sleep(spec.sleep_s)
+        try:
+            result = run_job(
+                spec,
+                attempt=attempt,
+                checkpoint=job.get("checkpoint"),
+                restart=job.get("restart"),
+                checkpoint_every=cfg.get("checkpoint_every", 1),
+                beat=beat,
+                setup_cache=setup_cache,
+                force_backend=job.get("force_backend"),
+                allow_exit=True,
+            )
+        except Exception as exc:
+            out.put(("failed", slot, job_id, {
+                "error": str(exc) or type(exc).__name__,
+                "error_type": type(exc).__name__,
+                "classification": classify(exc),
+            }))
+        else:
+            beat(result.get("iterations", 0), "done")
+            out.put(("done", slot, job_id, result))
+
+
+@dataclass
+class WorkerSlot:
+    """Parent-side record of one fleet worker."""
+
+    index: int
+    proc: Any = None
+    cmd: Any = None
+    job_id: str | None = None
+    attempt: int = 0
+    process_ranks: int = 0  # real backend workers this job consumes
+    deadline: float | None = None
+    started: float | None = None
+    respawns: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+
+@dataclass
+class JobOutcome:
+    """One terminal fleet event the daemon must act on."""
+
+    kind: str  # done | failed | lost | timeout
+    slot: int
+    job_id: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class WorkerFleet:
+    """Fixed-size supervised pool of persistent job workers."""
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
+        heartbeat_interval_s: float = DEFAULT_BEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        process_budget: int = 4,
+        checkpoint_every: int = 1,
+        close_fds: tuple[int, ...] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"fleet size must be >= 1, got {size}")
+        if job_timeout_s <= 0:
+            raise ValueError(f"job_timeout_s must be > 0, got {job_timeout_s}")
+        if process_budget < 0:
+            raise ValueError("process_budget must be >= 0")
+        self.size = size
+        self.job_timeout_s = job_timeout_s
+        self.process_budget = process_budget
+        self.clock = clock
+        self._ctx = mp.get_context("fork")
+        self._out = self._ctx.Queue()
+        self._cfg = {
+            "beat_interval_s": heartbeat_interval_s,
+            "checkpoint_every": checkpoint_every,
+            "close_fds": tuple(close_fds),
+        }
+        self.slots = [WorkerSlot(index=i) for i in range(size)]
+        self.monitor = HeartbeatMonitor(size, timeout_s=heartbeat_timeout_s)
+        self.degraded_jobs = 0
+        self.timeouts = 0
+        self.lost_workers = 0
+        self._closed = False
+        for slot in self.slots:
+            self._spawn(slot)
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _spawn(self, slot: WorkerSlot) -> None:
+        slot.cmd = self._ctx.Queue()
+        slot.proc = self._ctx.Process(
+            target=_service_worker_loop,
+            args=(slot.index, slot.cmd, self._out, self._cfg),
+            name=f"scf-job-worker-{slot.index}",
+            daemon=False,  # must be able to fork process-backend workers
+        )
+        slot.proc.start()
+
+    def _ensure_alive(self, slot: WorkerSlot) -> None:
+        if slot.proc is None or not slot.proc.is_alive():
+            if slot.proc is not None:
+                slot.proc.join(timeout=1)
+                slot.respawns += 1
+            self._spawn(slot)
+
+    def _kill(self, slot: WorkerSlot) -> None:
+        """SIGKILL a slot's worker (deadline breach or cancel)."""
+        proc = slot.proc
+        if proc is not None and proc.is_alive():
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (OSError, TypeError):  # pragma: no cover - racing exit
+                pass
+            proc.join(timeout=5)
+        slot.proc = None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def idle_slots(self) -> list[WorkerSlot]:
+        return [s for s in self.slots if not s.busy]
+
+    def busy_slots(self) -> list[WorkerSlot]:
+        return [s for s in self.slots if s.busy]
+
+    def process_ranks_in_use(self) -> int:
+        return sum(s.process_ranks for s in self.slots)
+
+    def dispatch(
+        self,
+        job: Job,
+        *,
+        checkpoint: str | Path | None = None,
+        restart: str | Path | None = None,
+    ) -> dict[str, Any]:
+        """Hand one claimed job to an idle slot.
+
+        Returns ``{"slot": i, "degraded": bool}``.  Raises
+        ``RuntimeError`` when no slot is idle (the daemon checks
+        first).  The degrade decision happens here: a process-backend
+        job that would push the fleet past its process budget runs on
+        the sim backend instead.
+        """
+        idle = self.idle_slots()
+        if not idle:
+            raise RuntimeError("no idle worker slot")
+        slot = idle[0]
+        self._ensure_alive(slot)
+
+        force_backend = None
+        degraded = False
+        process_ranks = 0
+        if job.spec.backend == "process":
+            if (self.process_ranks_in_use() + job.spec.nranks
+                    > self.process_budget):
+                force_backend = "sim"
+                degraded = True
+                self.degraded_jobs += 1
+            else:
+                process_ranks = job.spec.nranks
+
+        slot.job_id = job.id
+        slot.attempt = job.attempt
+        slot.process_ranks = process_ranks
+        slot.started = self.clock()
+        slot.deadline = slot.started + self.job_timeout_s
+        # Arm the liveness reference beat: a worker that never says
+        # anything at all still times out.
+        self.monitor.record(make_beat(
+            slot.index, slot.proc.pid, job.attempt, "dispatched",
+            t=time.perf_counter(),
+        ))
+        slot.cmd.put(("job", {
+            "id": job.id,
+            "attempt": job.attempt,
+            "spec": job.spec.to_dict(),
+            "checkpoint": None if checkpoint is None else str(checkpoint),
+            "restart": None if restart is None else str(restart),
+            "force_backend": force_backend,
+        }))
+        return {"slot": slot.index, "degraded": degraded}
+
+    # -- supervision ---------------------------------------------------------
+
+    def _free(self, slot: WorkerSlot) -> None:
+        slot.job_id = None
+        slot.attempt = 0
+        slot.process_ranks = 0
+        slot.deadline = None
+        slot.started = None
+
+    def poll(self) -> list[JobOutcome]:
+        """Drain beats/results, enforce deadlines, detect dead workers.
+
+        Returns the terminal outcomes the daemon must fold into the
+        durable queue.  Called from the dispatch loop every tick.
+        """
+        import queue as queue_mod
+
+        outcomes: list[JobOutcome] = []
+        while True:
+            try:
+                msg = self._out.get_nowait()
+            except queue_mod.Empty:
+                break
+            except (OSError, EOFError):  # pragma: no cover - teardown race
+                break
+            if msg[0] == "beat":
+                self.monitor.record(msg[1])
+                continue
+            kind, slot_idx, job_id, payload = msg
+            slot = self.slots[slot_idx]
+            if slot.job_id != job_id:
+                continue  # stale result from a killed-then-replaced job
+            self.monitor.mark_done(slot_idx)
+            self._free(slot)
+            outcomes.append(JobOutcome(kind=kind, slot=slot_idx,
+                                       job_id=job_id, payload=payload))
+
+        now = self.clock()
+        for slot in self.slots:
+            if not slot.busy:
+                continue
+            if slot.deadline is not None and now > slot.deadline:
+                # Deadline breach: kill-and-respawn, surface a
+                # retryable timeout.
+                job_id = slot.job_id
+                elapsed = now - (slot.started or now)
+                self._kill(slot)
+                self.monitor.mark_lost(slot.index)
+                self.timeouts += 1
+                self._free(slot)
+                self._ensure_alive(slot)
+                outcomes.append(JobOutcome(
+                    kind="timeout", slot=slot.index, job_id=job_id,
+                    payload={
+                        "error": (f"job exceeded its {self.job_timeout_s:g}s "
+                                  f"deadline (ran {elapsed:.1f}s)"),
+                        "error_type": "JobTimeoutError",
+                    },
+                ))
+            elif slot.proc is None or not slot.proc.is_alive():
+                # The worker died underneath the job (chaos kill, OOM
+                # kill, crash): retryable, respawn the slot.
+                job_id = slot.job_id
+                exitcode = None if slot.proc is None else slot.proc.exitcode
+                if slot.proc is not None:
+                    slot.proc.join(timeout=1)
+                slot.proc = None
+                self.monitor.mark_lost(slot.index)
+                self.lost_workers += 1
+                self._free(slot)
+                self._ensure_alive(slot)
+                outcomes.append(JobOutcome(
+                    kind="lost", slot=slot.index, job_id=job_id,
+                    payload={
+                        "error": (f"worker process died "
+                                  f"(exit code {exitcode})"),
+                        "error_type": "WorkerLostError",
+                    },
+                ))
+        # Busy-but-silent slots turn suspect here (worker.hung events).
+        self.monitor.check({s.index for s in self.slots if s.busy})
+        return outcomes
+
+    def cancel_job(self, job_id: str) -> bool:
+        """Kill the worker running ``job_id``; True when one was found."""
+        for slot in self.slots:
+            if slot.job_id == job_id:
+                self._kill(slot)
+                self.monitor.mark_lost(slot.index)
+                self._free(slot)
+                self._ensure_alive(slot)
+                return True
+        return False
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "size": self.size,
+            "busy": len(self.busy_slots()),
+            "process_budget": self.process_budget,
+            "process_ranks_in_use": self.process_ranks_in_use(),
+            "degraded_jobs": self.degraded_jobs,
+            "timeouts": self.timeouts,
+            "lost_workers": self.lost_workers,
+            "respawns": sum(s.respawns for s in self.slots),
+            "suspects": self.monitor.suspects(),
+        }
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop idle workers politely, kill busy/stuck ones."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self.slots:
+            if slot.proc is None or not slot.proc.is_alive():
+                continue
+            if slot.busy:
+                self._kill(slot)
+                continue
+            try:
+                slot.cmd.put(("stop",))
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for slot in self.slots:
+            proc = slot.proc
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - teardown best effort
+                proc.terminate()
+                proc.join(timeout=5)
+            slot.proc = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass

@@ -1,0 +1,137 @@
+"""Chaos: SIGKILL the daemon mid-job and prove the journal loses nothing.
+
+The daemon runs as a real subprocess (its own session, so ``killpg``
+takes out the daemon and any orphaned fleet workers in one blow).  A
+fast job is driven to completion, a slow one to mid-flight, then the
+whole process group is SIGKILLed.  A fresh daemon on the same service
+directory must replay the journal such that:
+
+* the acknowledged (done) job is preserved verbatim — same state,
+  same result, same attempt counter;
+* the interrupted job is re-run and finishes with an energy bitwise
+  identical (well within 1e-10 Eh) to a direct in-process reference.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import JobClient, JobSpec, ServiceUnavailable, probe_socket
+from repro.service.supervisor import run_job
+
+pytestmark = pytest.mark.process
+
+H2_XYZ = "2\nh2\nH 0.0 0.0 0.0\nH 0.0 0.0 0.74\n"
+WATER_XYZ = (
+    "3\nwater\n"
+    "O 0.0 0.0 0.117\n"
+    "H 0.0 0.757 -0.471\n"
+    "H 0.0 -0.757 -0.471\n"
+)
+
+
+def _spawn_daemon(service_dir: Path, runs_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--service-dir", str(service_dir),
+         "--runs-dir", str(runs_dir),
+         "--fleet", "1",
+         "--backoff-base", "0.05", "--backoff-cap", "0.2"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,  # killpg reaches orphan workers too
+    )
+    client = JobClient(service_dir)
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            client.ping()
+            return proc
+        except ServiceUnavailable:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited rc={proc.returncode} before serving")
+            if time.monotonic() > deadline:
+                proc.kill()
+                raise
+            time.sleep(0.1)
+
+
+def _killpg(proc: subprocess.Popen) -> None:
+    try:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait(timeout=10)
+
+
+def test_sigkilled_daemon_replays_journal_without_losing_jobs(tmp_path):
+    service_dir = tmp_path / "svc"
+    runs_dir = tmp_path / "runs"
+    client = JobClient(service_dir)
+    reference = run_job(JobSpec(xyz=WATER_XYZ))
+
+    daemon = _spawn_daemon(service_dir, runs_dir)
+    try:
+        # One job all the way to acknowledged-done before the crash.
+        fast = client.submit({"xyz": H2_XYZ, "tag": "fast"})
+        fast_done = client.result(fast["id"], timeout_s=90)
+        assert fast_done["state"] == "done"
+
+        # One slow job caught mid-flight by the kill.
+        slow = client.submit({"xyz": WATER_XYZ, "tag": "slow",
+                              "cycle_delay_s": 0.5})
+        deadline = time.monotonic() + 30
+        while client.status(slow["id"])["state"] != "running":
+            assert time.monotonic() < deadline, "slow job never dispatched"
+            time.sleep(0.05)
+    finally:
+        _killpg(daemon)
+
+    # The socket file is now stale: present on disk, nobody listening.
+    sock = service_dir / "service.sock"
+    assert sock.exists()
+    assert not probe_socket(sock)
+    with pytest.raises(ServiceUnavailable):
+        client.ping()
+
+    # Restart on the same service dir: journal replay must adopt both.
+    daemon = _spawn_daemon(service_dir, runs_dir)
+    try:
+        # Acknowledged job preserved verbatim — never re-run.
+        replayed = client.status(fast["id"])
+        assert replayed["state"] == "done"
+        assert replayed["attempt"] == fast_done["attempt"]
+        assert replayed["result"] == fast_done["result"]
+
+        # Interrupted job adopted, re-run, and correct.
+        recovered = client.result(slow["id"], timeout_s=120)
+        assert recovered["state"] == "done"
+        assert recovered["interrupted"]
+        assert abs(recovered["result"]["energy"]
+                   - reference["energy"]) <= 1e-10
+    finally:
+        _killpg(daemon)
+
+
+def test_graceful_sigterm_finalizes_and_releases_socket(tmp_path):
+    service_dir = tmp_path / "svc"
+    daemon = _spawn_daemon(service_dir, tmp_path / "runs")
+    client = JobClient(service_dir)
+    job = client.submit({"xyz": H2_XYZ})
+    assert client.result(job["id"], timeout_s=90)["state"] == "done"
+
+    daemon.terminate()  # SIGTERM -> clean close()
+    assert daemon.wait(timeout=30) == 0
+    assert not (service_dir / "service.sock").exists()
+    assert not (service_dir / "daemon.pid").exists()

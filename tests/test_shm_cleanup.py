@@ -1,0 +1,128 @@
+"""Shared-memory hygiene: no /dev/shm segments leak past process exit.
+
+Covers the abnormal-exit paths that used to strand ``psm_*`` segments:
+an unhandled exception after allocation (the atexit sweep must unlink),
+a forked child exiting while the parent still owns blocks (the child's
+sweep must NOT unlink the parent's segments), and double-close.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.parallel.shared_array import SharedNDArray
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="requires a /dev/shm tmpfs")
+
+
+def _shm_count() -> int:
+    return sum(1 for p in SHM_DIR.iterdir() if p.name.startswith("psm_"))
+
+
+def _run_snippet(body: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(body)],
+        env=env, capture_output=True, text=True, timeout=60)
+
+
+class TestCrashSweep:
+    def test_unhandled_exception_does_not_leak_segments(self):
+        before = _shm_count()
+        proc = _run_snippet("""
+            import numpy as np
+            from repro.parallel.shared_array import SharedNDArray
+
+            blocks = [SharedNDArray((64, 64), np.float64)
+                      for _ in range(3)]
+            raise RuntimeError("simulated worker crash")
+        """)
+        assert proc.returncode != 0
+        assert "simulated worker crash" in proc.stderr
+        assert _shm_count() == before
+
+    def test_sys_exit_mid_run_does_not_leak(self):
+        before = _shm_count()
+        proc = _run_snippet("""
+            import sys
+            import numpy as np
+            from repro.parallel.shared_array import SharedNDArray
+
+            SharedNDArray((128,), np.float64)
+            sys.exit(3)
+        """)
+        assert proc.returncode == 3
+        assert _shm_count() == before
+
+
+class TestOwnerPidGuard:
+    def test_forked_child_exit_keeps_parent_segment_alive(self):
+        """A fork inherits the owner block object; only the owning pid
+        may unlink it, or the parent's live array turns to dust."""
+        proc = _run_snippet("""
+            import os
+            import sys
+            import numpy as np
+            from repro.parallel.shared_array import SharedNDArray
+
+            arr = SharedNDArray((16,), np.float64)
+            arr.array[:] = 7.0
+            pid = os.fork()
+            if pid == 0:
+                sys.exit(0)  # normal exit: child's atexit sweep runs
+            os.waitpid(pid, 0)
+            # Parent's segment must still be attachable by name.
+            view = SharedNDArray((16,), np.float64, name=arr.name,
+                                 create=False)
+            ok = view.array[0] == 7.0
+            view.close()
+            arr.close(unlink=True)
+            sys.exit(0 if ok else 9)
+        """)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_close_is_idempotent(self):
+        arr = SharedNDArray((8,), np.float64)
+        arr.close(unlink=True)
+        arr.close(unlink=True)  # second close must be a no-op
+
+    def test_owner_close_unlinks_exactly_once(self):
+        before = _shm_count()
+        arr = SharedNDArray((8, 8), np.float64)
+        assert _shm_count() == before + 1
+        arr.close(unlink=True)
+        assert _shm_count() == before
+
+
+class TestProcessBackendShutdown:
+    @pytest.mark.process
+    def test_shutdown_after_rank_death_leaves_no_segments(self, water_sto3g):
+        """A fault-plan rank death mid-run must not strand segments
+        after shutdown(), whether or not the run itself recovers."""
+        from repro.core.scf_driver import ParallelSCF
+        from repro.resilience.faults import FaultPlan
+
+        before = _shm_count()
+        scf = ParallelSCF(
+            water_sto3g, "shared-fock", nranks=2, nthreads=1,
+            backend="process",
+            fault_plan=FaultPlan.from_spec("kill:rank=1:cycle=2", nranks=2),
+        )
+        try:
+            scf.run()
+        except Exception:
+            pass  # rank death may fail the run; cleanup must still hold
+        finally:
+            scf.shutdown()
+        assert _shm_count() == before
