@@ -285,13 +285,15 @@ def _default_output(mode: str) -> Path:
 
 
 def _bench_obs_setup(args, output: Path):
-    """Register the bench run and (optionally) install live telemetry.
+    """Register the bench run and (optionally) install live instruments.
 
-    Returns ``(handle, channel, sink)``; any of them may be ``None``.
-    The registry record makes benchmark runs diffable through
-    ``repro runs diff`` like any SCF, and ``--telemetry`` measures the
-    bus's overhead on the hot path (the CI gate holds it under the
-    compare tolerance).
+    Returns ``(handle, channel, sink, span_writer)``; any may be
+    ``None``.  The registry record makes benchmark runs diffable
+    through ``repro runs diff`` like any SCF; ``--telemetry`` measures
+    the bus's overhead on the hot path and ``--trace`` the distributed
+    tracer's (context-stamped spans streamed to NDJSON, exactly the
+    per-attempt setup a service worker installs) — the CI gates hold
+    both under the compare tolerance.
     """
     from repro.obs.registry import RunRegistry
 
@@ -305,6 +307,7 @@ def _bench_obs_setup(args, output: Path):
                 "workers": args.workers,
                 "repeats": args.repeats,
                 "telemetry": args.telemetry,
+                "trace": args.trace,
                 "output": str(output),
             },
         )
@@ -323,7 +326,28 @@ def _bench_obs_setup(args, output: Path):
             channel.subscribe(sink)
             channel.serve(default_socket_path(handle.directory))
         set_telemetry(channel)
-    return handle, channel, sink
+    span_writer = None
+    if args.trace:
+        from repro.obs.export import span_line
+        from repro.obs.stream import NDJSONStreamWriter
+        from repro.obs.tracer import (
+            TraceContext,
+            Tracer,
+            new_span_id,
+            new_trace_id,
+            set_tracer,
+        )
+
+        spans_path = (handle.path("spans.ndjson") if handle is not None
+                      else output.parent / f"{output.stem}.spans.ndjson")
+        spans_path.parent.mkdir(parents=True, exist_ok=True)
+        span_writer = NDJSONStreamWriter(spans_path)
+        writer = span_writer
+        set_tracer(Tracer(
+            context=TraceContext(new_trace_id(), new_span_id()),
+            on_close=lambda s: writer.write_line(span_line(s, 0.0)),
+        ))
+    return handle, channel, sink, span_writer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -335,6 +359,13 @@ def main(argv: list[str] | None = None) -> int:
         help="install a live telemetry channel for the measured section "
              "(the overhead benchmark: results must stay within the "
              "compare gate's tolerance of a bare run)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="install a distributed tracer (context-stamped spans "
+             "streamed to NDJSON) for the measured section — the "
+             "tracing-overhead benchmark: results must stay within the "
+             "compare gate's tolerance of a bare run",
     )
     parser.add_argument(
         "--no-registry", action="store_true",
@@ -377,7 +408,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     mode = "schedule" if args.schedule else args.backend
     output = args.output or _default_output(mode)
-    handle, channel, sink = _bench_obs_setup(args, output)
+    handle, channel, sink, span_writer = _bench_obs_setup(args, output)
     try:
         rc, record = _bench_run(args, output)
     finally:
@@ -388,6 +419,11 @@ def main(argv: list[str] | None = None) -> int:
             channel.close()
         if sink is not None:
             sink.close()
+        if span_writer is not None:
+            from repro.obs.tracer import set_tracer
+
+            set_tracer(None)
+            span_writer.close()
     if handle is not None:
         handle.add_artifact("record", output)
         handle.finalize(

@@ -19,8 +19,9 @@ Commands
                per-rank activity / convergence / worker-health
                dashboard.
 ``runs``       Query the persistent run registry (``.repro/runs``):
-               list runs, show one run's record, or diff two runs'
-               final metrics through the comparison engine.
+               list runs, show one run's record, diff two runs'
+               final metrics through the comparison engine, or prune
+               old run directories under a retention policy.
 ``serve``      Run the SCF job service: a daemon with a durable
                (write-ahead-journaled) queue, a supervised worker
                fleet, retry/backoff, and graceful degradation.
@@ -28,6 +29,13 @@ Commands
 ``status``     One job's record, or the whole queue + fleet health.
 ``result``     Wait for a job and print its result.
 ``cancel``     Cancel a queued or running job.
+``trace``      Stitch one job's distributed trace (client, daemon,
+               every worker attempt) into a single Chrome trace with
+               synthetic queue-wait/backoff/resume segments and the
+               cross-process critical path.
+``slo``        Latency/SLO report: p50/p95/p99 queue-wait/run/total
+               per job class, error-budget burn rates, and breach
+               counts — live from a daemon or from recorded telemetry.
 ``dataset``    Describe one of the paper's graphene datasets (sizes,
                screening statistics).
 ``simulate``   Predict the Fock-build time of one run configuration.
@@ -569,6 +577,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore", action="append", default=[], metavar="GLOB",
         help="skip keys matching this glob (repeatable), e.g. '*wall_s'",
     )
+    runs_prune = runs_sub.add_parser(
+        "prune",
+        help="retention GC: delete old run directories (never runs "
+             "still marked running)",
+    )
+    runs_prune.add_argument(
+        "--keep-last", type=_nonneg_int, default=None, metavar="N",
+        help="keep only the newest N runs",
+    )
+    runs_prune.add_argument(
+        "--max-age", type=_positive_float, default=None, metavar="S",
+        help="delete runs whose record is older than S seconds",
+    )
+    runs_prune.add_argument(
+        "--max-bytes", type=_positive_float, default=None, metavar="B",
+        help="delete oldest runs until the registry fits B bytes",
+    )
+    runs_prune.add_argument(
+        "--dry-run", action="store_true",
+        help="list what would be deleted without deleting anything",
+    )
 
     tl = sub.add_parser(
         "timeline",
@@ -711,6 +740,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs-dir", type=Path, default=None, metavar="DIR",
         help="run registry root (default: $REPRO_RUNS_DIR or .repro/runs)",
     )
+    srv.add_argument(
+        "--keep", type=_positive_int, default=None, metavar="N",
+        help="run-registry retention: after each job finishes, prune "
+             "the registry down to the newest N runs (running jobs and "
+             "the service's own run are never pruned; default: keep "
+             "everything)",
+    )
+    srv.add_argument(
+        "--slo", action="append", default=None, metavar="TARGET",
+        help="SLO target, repeatable: 'total:p95<60', "
+             "'queue_wait:p95<30', or 'error_rate<0.25' (defaults to "
+             "exactly those three); drives slo.burn_rate/slo.breach "
+             "telemetry and the 'repro slo' report",
+    )
 
     sbm = sub.add_parser("submit", help="submit an SCF job to the service")
     sbm.add_argument("xyz", type=Path, help="XYZ geometry file")
@@ -793,6 +836,60 @@ def build_parser() -> argparse.ArgumentParser:
     cncl = sub.add_parser("cancel", help="cancel a queued or running job")
     cncl.add_argument("job", metavar="JOB", help="job id or prefix")
     _add_service_dir(cncl)
+
+    trc = sub.add_parser(
+        "trace",
+        help="assemble one job's end-to-end distributed trace (client "
+             "+ daemon + every worker attempt) into a Chrome trace",
+    )
+    trc.add_argument(
+        "job", metavar="JOB",
+        help="job id or unambiguous prefix (from 'repro submit')",
+    )
+    _add_service_dir(trc)
+    trc.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root holding the job's worker span files "
+             "(default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    trc.add_argument(
+        "--output", "-o", type=Path, default=None, metavar="JSON",
+        help="Chrome trace output path "
+             "(default: trace-<job>.json in the CWD)",
+    )
+    trc.add_argument(
+        "--no-report", action="store_true",
+        help="write the trace file only; skip the critical-path table",
+    )
+
+    slo_p = sub.add_parser(
+        "slo",
+        help="latency quantiles + SLO burn rates per job class, from a "
+             "live service or recorded telemetry",
+    )
+    slo_p.add_argument(
+        "source", nargs="?", default="live", metavar="SOURCE",
+        help="'live' queries the running service daemon (default); "
+             "otherwise a telemetry.ndjson path, a run-id prefix, or "
+             "'latest'",
+    )
+    _add_service_dir(slo_p)
+    slo_p.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root used to resolve run ids "
+             "(default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    slo_p.add_argument(
+        "--slo", action="append", default=None, metavar="TARGET",
+        dest="targets",
+        help="SLO target to evaluate recorded telemetry against "
+             "(repeatable; ignored for 'live' — the daemon's own "
+             "targets apply there)",
+    )
+    slo_p.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report instead of the table",
+    )
 
     ds = sub.add_parser("dataset", help="describe a benchmark dataset")
     ds.add_argument("label", choices=DATASETS)
@@ -1275,6 +1372,28 @@ def cmd_runs(args: argparse.Namespace) -> int:
         print(registry.show(run_id))
         return 0
 
+    if args.runs_command == "prune":
+        if (args.keep_last is None and args.max_age is None
+                and args.max_bytes is None):
+            print(
+                "error: give at least one of --keep-last / --max-age "
+                "/ --max-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        removed = registry.prune(
+            keep_last=args.keep_last,
+            max_age_s=args.max_age,
+            max_bytes=(int(args.max_bytes)
+                       if args.max_bytes is not None else None),
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(removed)} run(s)")
+        for run_id in removed:
+            print(f"  {run_id}")
+        return 0
+
     # diff: hand the two runs' final metrics snapshots to the PR-4
     # comparison engine — run-to-run diffs gate exactly like benchmarks.
     try:
@@ -1419,6 +1538,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         idle_exit_s=args.idle_exit,
         runs_dir=str(args.runs_dir) if args.runs_dir is not None else None,
+        keep_runs=args.keep,
+        **({"slo_targets": tuple(args.slo)} if args.slo else {}),
     )
     try:
         daemon = ServiceDaemon(config).start()
@@ -1595,6 +1716,119 @@ def cmd_cancel(args: argparse.Namespace) -> int:
     return _handle_service_errors(run)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.logctl import quiet_enabled
+    from repro.obs.registry import RunRegistry
+    from repro.obs.trace_assembly import TraceAssemblyError, assemble_job_trace
+
+    journal = args.service_dir / "journal.ndjson"
+    if not journal.exists():
+        print(f"error: no service journal at {journal} "
+              "(is --service-dir right?)", file=sys.stderr)
+        return 2
+    try:
+        assembled = assemble_job_trace(
+            journal, args.job,
+            runs_root=RunRegistry(args.runs_dir).root,
+        )
+    except TraceAssemblyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    out = args.output
+    if out is None:
+        out = Path(f"trace-{assembled.job_id}.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(assembled.to_chrome_trace()))
+
+    problems = assembled.validate()
+    if not args.no_report:
+        print(f"job {assembled.job_id}  trace_id {assembled.trace_id}")
+        print(f"{len(assembled.segments)} span(s) across "
+              f"{len({s.pid for s in assembled.segments})} process track(s)"
+              f"; {sum(1 for s in assembled.segments if s.synthetic)} "
+              f"synthetic")
+        print()
+        print(assembled.critical_path_report())
+    if not quiet_enabled():
+        for warning in assembled.warnings:
+            print(f"warning      : {warning}", file=sys.stderr)
+    for problem in problems:
+        print(f"invalid      : {problem}", file=sys.stderr)
+    if not args.no_report or not quiet_enabled():
+        print(f"\ntrace        : {out} (open in chrome://tracing or "
+              f"ui.perfetto.dev)")
+    return 1 if problems else 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.slo import (
+        SLOTargetError,
+        engine_from_telemetry,
+        render_slo_report,
+    )
+
+    if args.source == "live":
+        def run() -> int:
+            client = _job_client(args)
+            report = client.status().get("slo")
+            if report is None:
+                print("error: the service reports no SLO engine "
+                      "(older daemon?)", file=sys.stderr)
+                return 2
+            print(json.dumps(report, indent=2) if args.json
+                  else render_slo_report(report))
+            return 0
+
+        return _handle_service_errors(run)
+
+    from repro.obs.registry import RunRegistry
+    from repro.obs.telemetry import records_from_ndjson
+
+    src = Path(args.source)
+    if src.exists() and src.is_file():
+        ndjson = src
+    elif args.source == "latest":
+        # The sink lives in the *serving* daemon's run directory, not
+        # the per-job runs: take the newest run that recorded one.
+        registry = RunRegistry(args.runs_dir)
+        candidates = [
+            registry.run_dir(run_id) / "telemetry.ndjson"
+            for run_id in reversed(registry.run_ids())
+        ]
+        ndjson = next((p for p in candidates if p.exists()), None)
+        if ndjson is None:
+            print(f"error: no run under {registry.root} has a "
+                  "telemetry.ndjson", file=sys.stderr)
+            return 2
+    else:
+        registry = RunRegistry(args.runs_dir)
+        try:
+            run_id = registry.find(args.source)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        ndjson = registry.run_dir(run_id) / "telemetry.ndjson"
+        if not ndjson.exists():
+            print(f"error: run {run_id} has no telemetry.ndjson",
+                  file=sys.stderr)
+            return 2
+    try:
+        engine = engine_from_telemetry(
+            records_from_ndjson(ndjson.read_text()), targets=args.targets,
+        )
+    except SLOTargetError as exc:
+        print(f"error: invalid --slo target: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(engine.report(), indent=2) if args.json
+          else engine.report_text())
+    return 0
+
+
 def cmd_dataset(args: argparse.Namespace) -> int:
     from repro.chem.graphene import PAPER_DATASETS
     from repro.perfsim.workload import Workload
@@ -1750,6 +1984,8 @@ def main(argv: list[str] | None = None) -> int:
         "status": cmd_status,
         "result": cmd_result,
         "cancel": cmd_cancel,
+        "trace": cmd_trace,
+        "slo": cmd_slo,
         "timeline": cmd_timeline,
         "compare": cmd_compare,
         "dataset": cmd_dataset,

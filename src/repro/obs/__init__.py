@@ -54,7 +54,21 @@ from repro.obs.metrics import (
     use_metrics,
 )
 from repro.obs.registry import RunHandle, RunRegistry, runs_root
+from repro.obs.slo import (
+    DEFAULT_SLO_TARGETS,
+    SLOEngine,
+    SLOTarget,
+    engine_from_telemetry,
+    job_class,
+    render_slo_report,
+)
 from repro.obs.stream import ObsStreamer
+from repro.obs.trace_assembly import (
+    AssembledTrace,
+    TraceAssemblyError,
+    assemble_job_trace,
+    load_job_journal,
+)
 from repro.obs.telemetry import (
     NDJSONTelemetrySink,
     TelemetryChannel,
@@ -70,15 +84,26 @@ from repro.obs.telemetry import (
 from repro.obs.tracer import (
     NULL_TRACER,
     Span,
+    TraceContext,
     Tracer,
+    format_traceparent,
     get_tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
     set_tracer,
     use_tracer,
 )
 
 __all__ = [
     "NULL_TRACER",
+    "AssembledTrace",
     "Counter",
+    "DEFAULT_SLO_TARGETS",
+    "SLOEngine",
+    "SLOTarget",
+    "TraceAssemblyError",
+    "TraceContext",
     "Event",
     "EventLog",
     "Gauge",
@@ -94,20 +119,29 @@ __all__ = [
     "TelemetryClient",
     "TelemetryRecord",
     "Tracer",
+    "assemble_job_trace",
     "chrome_trace_events",
     "default_socket_path",
+    "engine_from_telemetry",
     "event_instants",
     "events_from_ndjson",
     "events_ndjson",
     "follow_telemetry",
+    "format_traceparent",
     "get_event_log",
     "get_metrics",
     "get_telemetry",
     "get_tracer",
+    "job_class",
+    "load_job_journal",
     "metrics_ndjson",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "profile_report",
     "prometheus_text",
     "records_from_ndjson",
+    "render_slo_report",
     "runs_root",
     "set_event_log",
     "set_metrics",

@@ -25,6 +25,8 @@ from repro.obs.events import Event, EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
+_MISSING = object()  # "attr not set anywhere" sentinel for span_line
+
 _MICRO = 1e6
 
 
@@ -238,9 +240,12 @@ def span_record(s: Span, t0: float = 0.0) -> dict[str, Any]:
 
     Shared by the batch exporter below and the incremental streamer
     (:class:`~repro.obs.stream.ObsStreamer`), so streamed and batch
-    files are byte-compatible.
+    files are byte-compatible.  Spans recorded under a
+    :class:`~repro.obs.tracer.TraceContext` additionally carry their
+    W3C ``trace_id``/``span_id``/``parent_span_id`` (absent otherwise,
+    keeping pre-trace files unchanged).
     """
-    return {
+    rec = {
         "span": s.name,
         "start_s": s.start - t0,
         "dur_s": s.duration,
@@ -249,6 +254,61 @@ def span_record(s: Span, t0: float = 0.0) -> dict[str, Any]:
         "thread": _json_safe(s.effective_attr("thread", 0)),
         "attrs": {k: _json_safe(v) for k, v in s.attrs.items()},
     }
+    if s.trace_id is not None:
+        rec["trace_id"] = s.trace_id
+        rec["span_id"] = s.span_id
+        rec["parent_span_id"] = s.parent_span_id
+    return rec
+
+
+def span_line(s: Span, t0: float = 0.0) -> str:
+    """One finished NDJSON line for a span — the hot-path serializer.
+
+    ``repro serve`` workers (and the ``--trace`` benchmark) stream a
+    line per completed span from inside the ERI kernel, where a
+    ``json.dumps`` per record is the single largest tracing cost; this
+    hand-builds the common shape (ASCII name, int rank/thread) and is
+    byte-identical to ``json.dumps(span_record(s, t0))``, falling back
+    to exactly that for anything unusual.
+    """
+    # One walk up the parent chain covers rank/thread inheritance and
+    # the nesting depth (span_record does three).
+    rank = thread = _MISSING
+    depth = 0
+    node: Span | None = s
+    while node is not None:
+        a = node.attrs
+        if rank is _MISSING and "rank" in a:
+            rank = a["rank"]
+        if thread is _MISSING and "thread" in a:
+            thread = a["thread"]
+        node = node.parent
+        depth += 1
+    depth -= 1  # the walk counted the span itself
+    if rank is _MISSING:
+        rank = 0
+    if thread is _MISSING:
+        thread = 0
+    name = s.name
+    if (type(rank) is not int or type(thread) is not int
+            or '"' in name or "\\" in name):
+        return json.dumps(span_record(s, t0))
+    attrs = s.attrs
+    attrs_json = (json.dumps({k: _json_safe(v) for k, v in attrs.items()})
+                  if attrs else "{}")
+    end = s.end
+    dur = (end - s.start) if end is not None else 0.0
+    line = (
+        f'{{"span": "{name}", "start_s": {s.start - t0!r}, '
+        f'"dur_s": {dur!r}, "depth": {depth}, '
+        f'"rank": {rank}, "thread": {thread}, "attrs": {attrs_json}'
+    )
+    if s.trace_id is not None:
+        parent = ("null" if s.parent_span_id is None
+                  else f'"{s.parent_span_id}"')
+        line += (f', "trace_id": "{s.trace_id}", "span_id": "{s.span_id}", '
+                 f'"parent_span_id": {parent}')
+    return line + "}"
 
 
 def spans_ndjson(tracer: Tracer, *, t0: float | None = None) -> str:
@@ -307,13 +367,15 @@ def _prom_labels(labels: Iterable[tuple[str, Any]]) -> str:
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Prometheus text-format exposition of a metrics registry.
 
-    Counters and gauges map directly; histograms expand to the summary
-    family ``<name>_count`` / ``<name>_sum`` / ``_min`` / ``_max`` /
-    ``_mean`` / ``_std``; series become one gauge per element with an
-    ``idx`` label.  ``None`` values (unset gauges, empty histograms)
-    are skipped.  The output is key-sorted and deterministic, so
-    external scrapers consume exactly the registry the dashboard and
-    the NDJSON exporter read.
+    Counters and gauges map directly; histograms expand to a proper
+    Prometheus histogram family — cumulative ``<name>_bucket{le="…"}``
+    lines (``+Inf`` last) plus ``<name>_count`` and ``<name>_sum`` —
+    with ``_min`` / ``_max`` / ``_mean`` / ``_std`` kept as companion
+    gauges; series become one gauge per element with an ``idx`` label.
+    ``None`` values (unset gauges, empty histograms) are skipped.  The
+    output is key-sorted and deterministic, so external scrapers
+    consume exactly the registry the dashboard and the NDJSON exporter
+    read.
     """
     by_family: dict[str, tuple[str, list[str]]] = {}
 
@@ -336,7 +398,22 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 f"{name}{suffix}{_prom_labels(labels)} {float(value):g}",
             )
         elif kind == "histogram":
-            for stat in ("count", "sum", "min", "max", "mean", "std"):
+            for le, cum in value.get("buckets") or []:
+                le_str = "+Inf" if le == "+Inf" else f"{float(le):g}"
+                add(
+                    name, "histogram",
+                    f"{name}_bucket"
+                    f"{_prom_labels(labels + [('le', le_str)])} {cum:d}",
+                )
+            add(
+                name, "histogram",
+                f"{name}_count{_prom_labels(labels)} {value['count']:d}",
+            )
+            add(
+                name, "histogram",
+                f"{name}_sum{_prom_labels(labels)} {float(value['sum']):g}",
+            )
+            for stat in ("min", "max", "mean", "std"):
                 v = value.get(stat)
                 if v is None:
                     continue

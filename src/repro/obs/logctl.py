@@ -12,16 +12,87 @@ socket lifecycle, backend warnings — goes through :mod:`logging` to
   :func:`quiet_enabled` so subcommands can gate their informational
   stdout prints (tables, progress notes) while keeping the primary
   result lines.
+
+Every record additionally carries correlation fields — ``run_id``,
+``job_id``, ``trace_id`` — injected from context variables by a
+:class:`logging.Filter`, so a stderr line can be joined against the
+run registry and the distributed trace of the job that emitted it.
+Set them with :func:`set_log_context` (the service worker does this
+per dispatched job; the CLI per registered run); unset fields render
+as nothing, keeping single-process logs unchanged.
 """
 
 from __future__ import annotations
 
 import logging
 import sys
+from contextvars import ContextVar
+from typing import Any
 
 LEVELS = ("debug", "info", "warning", "error")
 
 _quiet = False
+
+_UNSET = object()
+_run_id: ContextVar[str | None] = ContextVar("repro_log_run_id", default=None)
+_job_id: ContextVar[str | None] = ContextVar("repro_log_job_id", default=None)
+_trace_id: ContextVar[str | None] = ContextVar(
+    "repro_log_trace_id", default=None)
+
+
+def set_log_context(
+    *,
+    run_id: Any = _UNSET,
+    job_id: Any = _UNSET,
+    trace_id: Any = _UNSET,
+) -> None:
+    """Set correlation fields for subsequent log records.
+
+    Only the keywords passed are touched; pass ``None`` to clear one.
+    """
+    if run_id is not _UNSET:
+        _run_id.set(run_id)
+    if job_id is not _UNSET:
+        _job_id.set(job_id)
+    if trace_id is not _UNSET:
+        _trace_id.set(trace_id)
+
+
+def clear_log_context() -> None:
+    """Drop all correlation fields."""
+    set_log_context(run_id=None, job_id=None, trace_id=None)
+
+
+def log_context() -> dict[str, str | None]:
+    """The current correlation fields (``None`` where unset)."""
+    return {
+        "run_id": _run_id.get(),
+        "job_id": _job_id.get(),
+        "trace_id": _trace_id.get(),
+    }
+
+
+class CorrelationFilter(logging.Filter):
+    """Stamp ``run_id``/``job_id``/``trace_id`` onto every record.
+
+    Also precomputes ``record.corr`` — a ready-to-format suffix like
+    ``" [run=… job=… trace=…]"``, empty when no field is set — so the
+    formatter string stays a plain ``%``-style template.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = _run_id.get()
+        record.job_id = _job_id.get()
+        record.trace_id = _trace_id.get()
+        parts = [
+            f"{key}={val}"
+            for key, val in (("run", record.run_id),
+                             ("job", record.job_id),
+                             ("trace", record.trace_id))
+            if val
+        ]
+        record.corr = f" [{' '.join(parts)}]" if parts else ""
+        return True
 
 
 def setup_logging(level: str = "warning", *, quiet: bool = False) -> None:
@@ -39,8 +110,9 @@ def setup_logging(level: str = "warning", *, quiet: bool = False) -> None:
     for handler in list(root.handlers):
         root.removeHandler(handler)
     handler = logging.StreamHandler(sys.stderr)
+    handler.addFilter(CorrelationFilter())
     handler.setFormatter(
-        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        logging.Formatter("%(levelname)s %(name)s%(corr)s: %(message)s")
     )
     root.addHandler(handler)
     root.setLevel(

@@ -14,10 +14,19 @@ the DLB, DDI, reduction, and perfsim layers.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 LabelKey = tuple[tuple[str, Any], ...]
+
+#: Default histogram bucket upper bounds (seconds-flavoured exponential
+#: ladder, microseconds to minutes) — wide enough for both per-quartet
+#: kernel timings and whole-job service latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
 
 
 class Counter:
@@ -60,18 +69,29 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary (count/sum/min/max/mean/std).
+    """Streaming distribution summary with fixed-boundary buckets.
 
     The mean and variance are maintained with Welford's online update,
     so the spread is available without storing the observations — the
     imbalance metrics report standard deviation, not just min/max.
+
+    Observations are additionally binned against a fixed ladder of
+    upper bounds (:data:`DEFAULT_BUCKETS` unless overridden), which
+    gives :meth:`quantile` estimates by linear interpolation inside
+    the bracketing bucket and drives the Prometheus ``_bucket``/``le``
+    exposition — all in O(len(buckets)) memory, never O(count).
     """
 
     kind = "histogram"
     __slots__ = ("name", "labels", "count", "total", "min", "max",
-                 "_mean", "_m2")
+                 "_mean", "_m2", "buckets", "bucket_counts")
 
-    def __init__(self, name: str, labels: LabelKey) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        buckets: Sequence[float] | None = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.count = 0
@@ -80,6 +100,19 @@ class Histogram:
         self.max: float | None = None
         self._mean = 0.0
         self._m2 = 0.0
+        self.buckets: tuple[float, ...] = tuple(
+            sorted(DEFAULT_BUCKETS if buckets is None else buckets))
+        # One slot per boundary plus the +Inf overflow slot.
+        self.bucket_counts: list[int] = [0] * (len(self.buckets) + 1)
+
+    def set_buckets(self, buckets: Sequence[float]) -> None:
+        """Replace the bucket ladder; only legal before any observation."""
+        if self.count:
+            raise ValueError(
+                f"histogram {self.name!r} already has {self.count} "
+                "observations; buckets are fixed at first use")
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: int | float) -> None:
         v = float(value)
@@ -90,6 +123,7 @@ class Histogram:
         delta = v - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (v - self._mean)
+        self.bucket_counts[bisect_left(self.buckets, v)] += 1
 
     @property
     def mean(self) -> float:
@@ -105,7 +139,48 @@ class Histogram:
         """Population standard deviation of the observations."""
         return math.sqrt(max(self.variance, 0.0))
 
-    def snapshot(self) -> dict[str, float | int | None]:
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        cum = 0
+        for le, n in zip(self.buckets, self.bucket_counts):
+            cum += n
+            out.append((le, cum))
+        out.append((math.inf, self.count))
+        return out
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated q-quantile (0 ≤ q ≤ 1) from the bucket counts.
+
+        Linear interpolation inside the bracketing bucket, clamped to
+        the observed ``[min, max]`` so the estimate never invents mass
+        outside the data.  ``None`` when the histogram is empty.
+        """
+        if not self.count:
+            return None
+        q = min(max(float(q), 0.0), 1.0)
+        target = q * self.count
+        cum = 0.0
+        for i, n in enumerate(self.bucket_counts):
+            if not n:
+                continue
+            prev_cum = cum
+            cum += n
+            if cum >= target:
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = (self.buckets[i] if i < len(self.buckets)
+                      else (self.max if self.max is not None else lo))
+                if self.min is not None:
+                    lo = max(lo, self.min)
+                if self.max is not None:
+                    hi = min(hi, self.max)
+                if hi < lo:
+                    hi = lo
+                frac = (target - prev_cum) / n
+                return lo + (hi - lo) * frac
+        return self.max
+
+    def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "sum": self.total,
@@ -113,6 +188,10 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
             "std": self.std,
+            "buckets": [
+                ["+Inf" if math.isinf(le) else le, cum]
+                for le, cum in self.cumulative_buckets()
+            ],
         }
 
 
@@ -177,8 +256,17 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels: Any) -> Gauge:
         return self._get_or_create("gauge", name, labels)
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get_or_create("histogram", name, labels)
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        metric = self._get_or_create("histogram", name, labels)
+        if buckets is not None and not metric.count:
+            metric.set_buckets(buckets)
+        return metric
 
     def series(self, name: str, **labels: Any) -> Series:
         return self._get_or_create("series", name, labels)

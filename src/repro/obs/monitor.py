@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.obs.analysis.timeline import merge_intervals, overlap_seconds
+from repro.obs.metrics import Histogram
+from repro.obs.slo import LATENCY_METRICS, SERVICE_LATENCY_BUCKETS
 from repro.obs.telemetry import TelemetryRecord, records_from_ndjson
 
 #: Unicode sparkline ramp, quietest to loudest.
@@ -65,6 +67,8 @@ NOTABLE_KINDS = frozenset(
         "service.overloaded",
         "service.degraded",
         "service.recovered",
+        # SLO engine signals.
+        "slo.breach",
     }
 )
 
@@ -165,6 +169,10 @@ class MonitorState:
         self.t_last: float | None = None
         self.converged: bool | None = None
         self._dlb_samples: list[tuple[float, float]] = []  # (t, total claims)
+        # Service latency digests per job class (fed by job.done/failed).
+        self.latency: dict[str, dict[str, Histogram]] = {}
+        self.slo_burn: dict[tuple[str, str], float] = {}
+        self.slo_breaches = 0
 
     # -- folding -------------------------------------------------------------
 
@@ -204,8 +212,34 @@ class MonitorState:
             if kind == "run.end" and "converged" in p:
                 self.converged = bool(p["converged"])
             self.events.append(rec)
+        elif kind == "slo.burn_rate":
+            cls, target = p.get("job_class"), p.get("target")
+            burn = p.get("burn_rate")
+            if cls and target and isinstance(burn, (int, float)):
+                self.slo_burn[(cls, target)] = float(burn)
         elif kind in NOTABLE_KINDS:
+            if kind == "slo.breach":
+                self.slo_breaches += 1
             self.events.append(rec)
+        if kind in ("job.done", "job.failed"):
+            self._fold_latency(p)
+
+    def _fold_latency(self, payload: dict[str, Any]) -> None:
+        cls = payload.get("job_class")
+        if not cls:
+            return
+        hists = self.latency.get(cls)
+        if hists is None:
+            hists = self.latency[cls] = {
+                metric: Histogram(f"latency.{metric}",
+                                  (("job_class", cls),),
+                                  buckets=SERVICE_LATENCY_BUCKETS)
+                for metric in LATENCY_METRICS
+            }
+        for metric in LATENCY_METRICS:
+            value = payload.get(f"{metric}_s")
+            if isinstance(value, (int, float)):
+                hists[metric].observe(max(float(value), 0.0))
 
     def apply_all(self, records: Iterable[TelemetryRecord]) -> None:
         for rec in records:
@@ -340,6 +374,39 @@ class MonitorState:
                     + ", ".join(f"{k}={n}" for k, n in sorted(health.items()))
                 )
 
+        # -- service latency percentiles + SLO burn ---------------------------
+        if self.latency:
+            lines.append("")
+            lines.append(
+                f"{'latency (s)':<22s} {'n':>5s} "
+                f"{'qwait p50/p95/p99':>20s} {'total p50/p95/p99':>20s}"
+            )
+            for cls in sorted(self.latency):
+                hists = self.latency[cls]
+
+                def _cell(hist: Histogram) -> str:
+                    qs = [hist.quantile(q) for q in (0.5, 0.95, 0.99)]
+                    return "/".join(
+                        f"{v:.2f}" if v is not None else "-" for v in qs
+                    )
+
+                lines.append(
+                    f"{cls:<22s} {hists['total'].count:>5d} "
+                    f"{_cell(hists['queue_wait']):>20s} "
+                    f"{_cell(hists['total']):>20s}"
+                )
+            burning = {k: v for k, v in self.slo_burn.items() if v >= 1.0}
+            if burning or self.slo_breaches:
+                worst = sorted(burning.items(), key=lambda kv: -kv[1])[:3]
+                detail = ", ".join(
+                    f"{cls} {target} burn={burn:.1f}"
+                    for (cls, target), burn in worst
+                )
+                lines.append(
+                    f"SLO: {self.slo_breaches} breach(es)"
+                    + (f" — {detail}" if detail else "")
+                )
+
         # -- event tail -------------------------------------------------------
         if self.events:
             lines.append("")
@@ -350,7 +417,8 @@ class MonitorState:
                     f"{k}={v}"
                     for k, v in rec.payload.items()
                     if k in ("rank", "cycle", "silent_s", "was_suspect",
-                             "converged", "energy", "status")
+                             "converged", "energy", "status", "job",
+                             "job_class", "target", "burn_rate")
                     and v is not None
                 )
                 lines.append(

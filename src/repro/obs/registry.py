@@ -28,10 +28,13 @@ degrades registration to a warning, never a crashed SCF.
 from __future__ import annotations
 
 import datetime as _dt
+import itertools
 import json
 import logging
 import os
 import secrets
+import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -66,11 +69,21 @@ def _json_safe(value: Any) -> Any:
     return str(value)
 
 
+_run_id_counter = itertools.count()
+
+
 def new_run_id(clock: _dt.datetime | None = None) -> str:
-    """Sortable, collision-free run id: UTC stamp + pid + entropy."""
+    """Sortable, collision-free run id: UTC stamp + pid + entropy.
+
+    A per-process counter folds into the entropy so ids minted in the
+    same second by the same process can never collide (two random hex
+    chars alone have ~1/65k pair odds — too flaky for a busy daemon).
+    """
     now = clock or _dt.datetime.now(_dt.timezone.utc)
+    seq = next(_run_id_counter) & 0xFFF
+    entropy = secrets.token_hex(1)[0]
     return (
-        f"{now.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}-{secrets.token_hex(2)}"
+        f"{now.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}-{seq:03x}{entropy}"
     )
 
 
@@ -204,6 +217,99 @@ class RunRegistry:
 
     def run_dir(self, run_id: str) -> Path:
         return self.root / run_id
+
+    # -- retention -----------------------------------------------------------
+
+    def _dir_bytes(self, run_id: str) -> int:
+        total = 0
+        for p in self.run_dir(run_id).rglob("*"):
+            try:
+                if p.is_file():
+                    total += p.stat().st_size
+            except OSError:  # pragma: no cover - races with deletion
+                continue
+        return total
+
+    def prune(
+        self,
+        *,
+        keep_last: int | None = None,
+        max_age_s: float | None = None,
+        max_bytes: int | None = None,
+        protect: set[str] | frozenset[str] | None = None,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> list[str]:
+        """Retention GC: delete old run directories, oldest first.
+
+        Three independent policies compose (a run violating any one is
+        removed): ``keep_last`` keeps only the newest N runs,
+        ``max_age_s`` drops runs whose ``run.json`` is older than the
+        cutoff, and ``max_bytes`` deletes oldest-first until the
+        registry fits the byte budget.  Runs whose record still says
+        ``status: "running"`` and ids in ``protect`` are never
+        touched (the serving daemon protects its own live jobs this
+        way).  Returns the removed ids, oldest first; deletion is
+        best-effort and a failed ``rmtree`` is logged, not raised.
+        With ``dry_run`` nothing is deleted — the victim list is
+        returned for preview.
+        """
+        ids = self.run_ids()  # oldest first
+        protected = set(protect or ())
+        candidates = []
+        for run_id in ids:
+            if run_id in protected:
+                continue
+            try:
+                if self.load(run_id).get("status") == "running":
+                    continue
+            except (OSError, json.JSONDecodeError):
+                pass  # unreadable record: still eligible
+            candidates.append(run_id)
+
+        victims: set[str] = set()
+        if max_age_s is not None:
+            cutoff = (time.time() if now is None else now) - max_age_s
+            for run_id in candidates:
+                try:
+                    mtime = (self.run_dir(run_id) / _RUN_FILE).stat().st_mtime
+                except OSError:
+                    mtime = 0.0
+                if mtime < cutoff:
+                    victims.add(run_id)
+        if keep_last is not None and keep_last >= 0:
+            survivors = [i for i in candidates if i not in victims]
+            # keep_last counts *all* retained runs, protected included.
+            retained = len(ids) - len(victims)
+            excess = retained - keep_last
+            for run_id in survivors:
+                if excess <= 0:
+                    break
+                victims.add(run_id)
+                excess -= 1
+        if max_bytes is not None:
+            survivors = [i for i in ids if i not in victims]
+            sizes = {i: self._dir_bytes(i) for i in survivors}
+            total = sum(sizes.values())
+            for run_id in survivors:
+                if total <= max_bytes:
+                    break
+                if run_id not in candidates:
+                    continue
+                victims.add(run_id)
+                total -= sizes[run_id]
+
+        removed = [i for i in ids if i in victims]
+        if dry_run:
+            return removed
+        for run_id in removed:
+            try:
+                shutil.rmtree(self.run_dir(run_id))
+            except OSError as exc:  # pragma: no cover - fs failure path
+                logger.warning("prune failed for %s: %s", run_id, exc)
+        if removed:
+            logger.info("pruned %d run(s) under %s", len(removed), self.root)
+        return removed
 
     # -- rendering -----------------------------------------------------------
 

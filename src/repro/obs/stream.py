@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any, TextIO
 
 from repro.obs.events import Event, EventLog, event_record
-from repro.obs.export import span_record
+from repro.obs.export import span_line
 from repro.obs.tracer import Span, Tracer
 
 
@@ -45,6 +45,11 @@ class NDJSONStreamWriter:
 
     def write(self, record: dict[str, Any]) -> None:
         self._fh.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def write_line(self, line: str) -> None:
+        """Append one pre-serialized JSON line (the span hot path)."""
+        self._fh.write(line + "\n")
         self.written += 1
 
     def close(self) -> None:
@@ -107,7 +112,7 @@ class ObsStreamer:
 
     def _span_closed(self, span: Span) -> None:
         if self._spans is not None:
-            self._spans.write(span_record(span, self.t0))
+            self._spans.write_line(span_line(span, self.t0))
         if self._prev_on_close is not None:
             self._prev_on_close(span)
 

@@ -24,15 +24,75 @@ deterministic fake clock through the ``clock`` parameter.
 
 from __future__ import annotations
 
+import secrets
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 
+def new_trace_id() -> str:
+    """A fresh W3C trace id: 32 lowercase hex chars, never all-zero."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh W3C span id: 16 lowercase hex chars, never all-zero."""
+    return secrets.token_hex(8)
+
+
+class TraceContext:
+    """Remote parentage for a tracer: ``(trace_id, span_id)`` of the caller.
+
+    When a :class:`Tracer` carries a context, every root span it opens
+    is stamped with ``trace_id`` and parented (via ``parent_span_id``)
+    onto the context's ``span_id`` — that is how a forked worker's SCF
+    spans attach to the job-level span minted by the service queue in
+    another process.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — for fanning out sub-contexts."""
+        return TraceContext(self.trace_id, new_span_id())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceContext({self.trace_id!r}, {self.span_id!r})"
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """W3C ``traceparent`` header form: ``00-<trace_id>-<span_id>-01``."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def parse_traceparent(header: str) -> TraceContext | None:
+    """Parse a ``traceparent`` string; ``None`` on any malformation."""
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != "00" or len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    return TraceContext(trace_id, span_id)
+
+
 class Span:
     """One traced region: a name, a wall-time interval, and attributes."""
 
-    __slots__ = ("name", "attrs", "start", "end", "parent", "children")
+    __slots__ = ("name", "attrs", "start", "end", "parent", "children",
+                 "trace_id", "span_id", "parent_span_id")
 
     def __init__(
         self,
@@ -47,6 +107,9 @@ class Span:
         self.end: float | None = None
         self.parent = parent
         self.children: list[Span] = []
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_span_id: str | None = None
 
     @property
     def duration(self) -> float:
@@ -136,6 +199,13 @@ class Tracer:
         (:class:`~repro.obs.stream.ObsStreamer`) uses to make records
         durable before a worker can die.  ``None`` (the default) costs
         one ``is None`` test per span close.
+    context:
+        Optional :class:`TraceContext` naming the remote parent.  When
+        set, every span gets W3C ids: ``trace_id`` from the context,
+        a fresh ``span_id``, and ``parent_span_id`` chaining to the
+        enclosing span (or to ``context.span_id`` for roots).  When
+        ``None`` (the default) spans carry no ids and tracing stays
+        purely in-process, exactly as before.
     """
 
     def __init__(
@@ -144,10 +214,12 @@ class Tracer:
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
         on_close: Callable[[Span], None] | None = None,
+        context: TraceContext | None = None,
     ) -> None:
         self.enabled = enabled
         self.clock = clock
         self.on_close = on_close
+        self.context = context
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
@@ -162,6 +234,13 @@ class Tracer:
     def _open(self, name: str, attrs: dict[str, Any]) -> Span:
         parent = self._stack[-1] if self._stack else None
         s = Span(name, attrs, self.clock(), parent)
+        ctx = self.context
+        if ctx is not None:
+            s.trace_id = ctx.trace_id
+            s.span_id = new_span_id()
+            s.parent_span_id = (
+                parent.span_id if parent is not None else ctx.span_id
+            )
         (parent.children if parent is not None else self.roots).append(s)
         self._stack.append(s)
         return s

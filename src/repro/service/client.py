@@ -28,6 +28,12 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.obs.tracer import (
+    TraceContext,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+)
 from repro.service.errors import (
     JobTimeoutError,
     ServiceError,
@@ -135,10 +141,30 @@ class JobClient:
         """Daemon liveness + queue/fleet statistics."""
         return self.request("ping")
 
-    def submit(self, spec: JobSpec | dict[str, Any]) -> dict[str, Any]:
-        """Submit one job; returns its public record (with the new id)."""
+    def submit(
+        self,
+        spec: JobSpec | dict[str, Any],
+        *,
+        context: TraceContext | None = None,
+    ) -> dict[str, Any]:
+        """Submit one job; returns its public record (with the new id).
+
+        Every submit originates a distributed trace: a fresh W3C trace
+        context (or the caller's ``context``, to join an existing
+        trace) travels in the request's ``trace`` field alongside the
+        client's ``perf_counter`` reading, and the returned record
+        carries the job's adopted ``trace_id``.  perf_counter is
+        CLOCK_MONOTONIC — shared with the daemon and its workers on
+        one host — which is what lets trace assembly place the
+        client-side submit on the merged timeline.
+        """
         spec_dict = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
-        return self.request("submit", spec=spec_dict)["job"]
+        ctx = context or TraceContext(new_trace_id(), new_span_id())
+        trace = {
+            "traceparent": format_traceparent(ctx),
+            "client_t": time.perf_counter(),
+        }
+        return self.request("submit", spec=spec_dict, trace=trace)["job"]
 
     def status(self, job_id: str | None = None) -> dict[str, Any]:
         """One job's record, or the full queue listing + service stats."""

@@ -44,6 +44,7 @@ from typing import Any
 from repro.obs.events import EventLog, set_event_log
 from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.obs.registry import RunHandle, RunRegistry
+from repro.obs.slo import DEFAULT_SLO_TARGETS, SLOEngine, job_class
 from repro.obs.telemetry import TelemetryChannel, set_telemetry
 from repro.service.client import recv_line, probe_socket, service_socket_path
 from repro.service.errors import (
@@ -84,6 +85,8 @@ class ServiceConfig:
     checkpoint_every: int = 1
     idle_exit_s: float | None = None
     runs_dir: str | None = None
+    slo_targets: tuple[str, ...] = DEFAULT_SLO_TARGETS
+    keep_runs: int | None = None  # registry retention (prune keep-last-N)
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -113,7 +116,11 @@ class ServiceDaemon:
         self.channel: TelemetryChannel | None = None
         self.registry: RunRegistry | None = None
         self.serve_run: RunHandle | None = None
+        self.slo: SLOEngine | None = None
         self._job_runs: dict[str, RunHandle] = {}
+        # Per-job latency accounting on the shared perf_counter base:
+        # {"submit_pt", "ready_pt", "dispatch_pt"?, "queue_wait", "run"}.
+        self._timing: dict[str, dict[str, float]] = {}
         self._server: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -157,6 +164,7 @@ class ServiceDaemon:
 
         self.channel = TelemetryChannel()
         set_telemetry(self.channel)
+        self.slo = SLOEngine(self.config.slo_targets, channel=self.channel)
         set_event_log(EventLog())
         set_metrics(MetricsRegistry())
         telemetry_fd = None
@@ -330,8 +338,11 @@ class ServiceDaemon:
             if job is None:
                 return
             ckpt = self._checkpoint_path(job.id)
-            info = self.fleet.dispatch(job, checkpoint=ckpt, restart=ckpt)
+            resumed = ckpt.exists()
             extra: dict[str, Any] = {}
+            # The registry run must exist *before* the worker starts:
+            # its directory is where the worker streams the attempt's
+            # span NDJSON that trace assembly stitches later.
             if job.id not in self._job_runs and self.registry is not None:
                 handle = self.registry.register("job", config={
                     "job_id": job.id,
@@ -341,10 +352,35 @@ class ServiceDaemon:
                     "backend": job.spec.backend,
                     "nranks": job.spec.nranks,
                     "nthreads": job.spec.nthreads,
+                    "trace_id": job.trace_id,
                 })
                 if handle is not None:
                     self._job_runs[job.id] = handle
                     extra["run_id"] = handle.run_id
+            handle = self._job_runs.get(job.id)
+            trace: dict[str, Any] | None = None
+            if job.trace_id is not None and handle is not None:
+                trace = {
+                    "trace_id": job.trace_id,
+                    "root_span_id": job.root_span_id,
+                    "obs_dir": str(handle.path("trace")),
+                }
+            now_pt = time.perf_counter()
+            timing = self._timing.setdefault(job.id, {
+                "submit_pt": (job.client_t if job.client_t is not None
+                              else now_pt),
+                "ready_pt": now_pt,
+                "queue_wait": 0.0,
+                "run": 0.0,
+            })
+            timing["queue_wait"] += max(0.0, now_pt - timing["ready_pt"])
+            timing["dispatch_pt"] = now_pt
+            info = self.fleet.dispatch(job, checkpoint=ckpt, restart=ckpt,
+                                       trace=trace)
+            if resumed:
+                # Journaled on the running transition so trace assembly
+                # can synthesize the checkpoint.resume segment.
+                extra["resumed"] = True
             if info["degraded"] and not job.degraded:
                 extra["degraded"] = True
                 self.channel.publish(
@@ -369,6 +405,42 @@ class ServiceDaemon:
                 resumed=job.interrupted or job.attempt > 1,
             )
 
+    def _close_attempt_timing(self, job_id: str) -> dict[str, float]:
+        """Fold the finished attempt into the job's latency accounting."""
+        now_pt = time.perf_counter()
+        timing = self._timing.setdefault(job_id, {
+            "submit_pt": now_pt, "ready_pt": now_pt,
+            "queue_wait": 0.0, "run": 0.0,
+        })
+        dispatch_pt = timing.pop("dispatch_pt", None)
+        if dispatch_pt is not None:
+            timing["run"] += max(0.0, now_pt - dispatch_pt)
+        return timing
+
+    def _latency_fields(self, job_id: str) -> dict[str, float]:
+        """Terminal latency decomposition; pops the accounting entry."""
+        timing = self._close_attempt_timing(job_id)
+        self._timing.pop(job_id, None)
+        total = max(0.0, time.perf_counter() - timing["submit_pt"])
+        return {
+            "queue_wait_s": round(timing["queue_wait"], 6),
+            "run_s": round(timing["run"], 6),
+            "total_s": round(total, 6),
+        }
+
+    def _observe_slo(self, job: Any, latency: dict[str, float],
+                     *, failed: bool) -> None:
+        if self.slo is None:
+            return
+        self.slo.observe_job(
+            job_class(job.spec),
+            queue_wait_s=latency["queue_wait_s"],
+            run_s=latency["run_s"],
+            total_s=latency["total_s"],
+            failed=failed,
+            job_id=job.id,
+        )
+
     def _fold_outcome(self, outcome: JobOutcome) -> None:
         try:
             job = self.queue.get(outcome.job_id)
@@ -378,6 +450,7 @@ class ServiceDaemon:
         if outcome.kind == "done":
             result = outcome.payload
             self.jobs_done += 1
+            latency = self._latency_fields(job.id)
             self.queue.transition(
                 job.id, "done",
                 result=result,
@@ -392,13 +465,17 @@ class ServiceDaemon:
                 iterations=result.get("iterations"),
                 degraded=bool(job.degraded),
                 warm_setup=result.get("warm_setup"),
+                job_class=job_class(job.spec),
+                **latency,
             )
+            self._observe_slo(job, latency, failed=False)
             self._finalize_job_run(job.id, "done", summary={
                 "energy": result.get("energy"),
                 "converged": result.get("converged"),
                 "iterations": result.get("iterations"),
                 "attempts": job.attempt,
                 "degraded": bool(job.degraded),
+                **latency,
             })
             return
 
@@ -411,6 +488,9 @@ class ServiceDaemon:
         ):
             delay = self.policy.delay_s(job.id, job.attempt)
             self.retries += 1
+            timing = self._close_attempt_timing(job.id)
+            # The backoff gate reopens queue-wait accounting then.
+            timing["ready_pt"] = time.perf_counter() + delay
             self.queue.transition(
                 job.id, "retrying",
                 not_before=time.time() + delay,
@@ -426,6 +506,7 @@ class ServiceDaemon:
             )
         else:
             self.jobs_failed += 1
+            latency = self._latency_fields(job.id)
             self.queue.transition(
                 job.id, "failed", error=error, error_type=error_type,
             )
@@ -436,11 +517,15 @@ class ServiceDaemon:
                 error_type=error_type,
                 terminal=verdict == TERMINAL,
                 outcome=outcome.kind,
+                job_class=job_class(job.spec),
+                **latency,
             )
+            self._observe_slo(job, latency, failed=True)
             self._finalize_job_run(job.id, "failed", summary={
                 "error": error,
                 "error_type": error_type,
                 "attempts": job.attempt,
+                **latency,
             })
 
     def _finalize_job_run(self, job_id: str, status: str,
@@ -448,6 +533,20 @@ class ServiceDaemon:
         handle = self._job_runs.pop(job_id, None)
         if handle is not None:
             handle.finalize(status=status, summary=summary)
+        self._prune_registry()
+
+    def _prune_registry(self) -> None:
+        """Apply the ``--keep`` retention policy after each job settles."""
+        if self.registry is None or self.config.keep_runs is None:
+            return
+        protect = {h.run_id for h in self._job_runs.values()}
+        if self.serve_run is not None:
+            protect.add(self.serve_run.run_id)
+        try:
+            self.registry.prune(keep_last=self.config.keep_runs,
+                                protect=protect)
+        except OSError as exc:  # pragma: no cover - fs failure path
+            logger.warning("registry prune failed: %s", exc)
 
     # -- request handling ----------------------------------------------------
 
@@ -502,7 +601,7 @@ class ServiceDaemon:
         if cmd == "submit":
             spec = JobSpec.from_dict(request.get("spec") or {})
             try:
-                job = self.queue.submit(spec)
+                job = self.queue.submit(spec, trace=request.get("trace"))
             except ServiceError:
                 self.overloads += 1
                 self.channel.publish(
@@ -511,11 +610,20 @@ class ServiceDaemon:
                     max_depth=self.config.max_queue_depth,
                 )
                 raise
+            now_pt = time.perf_counter()
+            self._timing[job.id] = {
+                "submit_pt": (job.client_t if job.client_t is not None
+                              else now_pt),
+                "ready_pt": now_pt,
+                "queue_wait": 0.0,
+                "run": 0.0,
+            }
             self._last_active = time.monotonic()
             self.channel.publish(
                 "job.submitted",
                 job=job.id, tag=spec.tag, basis=spec.basis,
                 algorithm=spec.algorithm, backend=spec.backend,
+                trace_id=job.trace_id,
             )
             return {"ok": True, "job": job.public_dict()}
         if cmd == "status":
@@ -527,6 +635,7 @@ class ServiceDaemon:
                     "depth": self.queue.depth(),
                     "fleet": self.fleet.stats(),
                     "summary": self._summary(),
+                    "slo": self.slo.report() if self.slo else None,
                 }
             return {"ok": True, "job": self.queue.get(job_id).public_dict()}
         if cmd == "cancel":

@@ -148,6 +148,11 @@ class Job:
     error_type: str | None = None
     result: dict[str, Any] | None = None
     run_id: str | None = None  # registry record of the latest attempt
+    # -- distributed trace context (W3C-style, journaled at submit) ----------
+    trace_id: str | None = None  # 32-hex id shared by every span of the job
+    parent_span_id: str | None = None  # client-side submit span, if any
+    root_span_id: str | None = None  # the job root span all attempts parent on
+    client_t: float | None = None  # client's perf_counter at submit
 
     @property
     def open(self) -> bool:
@@ -179,6 +184,7 @@ class Job:
             "error_type": self.error_type,
             "result": self.result,
             "run_id": self.run_id,
+            "trace_id": self.trace_id,
             "tag": self.spec.tag,
             "basis": self.spec.basis,
             "algorithm": self.spec.algorithm,

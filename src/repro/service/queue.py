@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.obs.tracer import new_span_id, new_trace_id, parse_traceparent
 from repro.service.errors import JobNotFound, ServiceOverloaded
 from repro.service.jobs import Job, JobSpec, TERMINAL_STATES
 
@@ -62,11 +63,13 @@ class DurableJobQueue:
         max_depth: int | None = DEFAULT_MAX_DEPTH,
         fsync: bool = True,
         clock: Callable[[], float] = time.time,
+        pclock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.journal_path = Path(journal)
         self.max_depth = max_depth
         self.fsync = fsync
         self.clock = clock
+        self.pclock = pclock
         self.jobs: dict[str, Job] = {}
         self._order: list[str] = []  # submission order (FIFO dispatch)
         self._lock = threading.RLock()
@@ -86,6 +89,10 @@ class DurableJobQueue:
     def _append(self, record: dict[str, Any]) -> None:
         """Write one journal line durably (flush + fsync) before returning."""
         record.setdefault("t", self.clock())
+        # perf_counter is CLOCK_MONOTONIC — shared across processes on
+        # one host, so journal transitions land on the same time base
+        # as worker span NDJSON (trace assembly aligns on "pt").
+        record.setdefault("pt", self.pclock())
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()
         if self.fsync:
@@ -161,9 +168,21 @@ class DurableJobQueue:
                                                "retrying"))
             return out
 
-    def submit(self, spec: JobSpec) -> Job:
-        """Admit one job, or shed it with :class:`ServiceOverloaded`."""
+    def submit(self, spec: JobSpec,
+               trace: dict[str, Any] | None = None) -> Job:
+        """Admit one job, or shed it with :class:`ServiceOverloaded`.
+
+        ``trace`` is the optional context dict a tracing client sends
+        with the submit request: ``{"traceparent": "00-…-…-01",
+        "client_t": <perf_counter>}``.  The job adopts the client's
+        ``trace_id`` (minting a fresh one when absent or malformed, so
+        old clients still get traced jobs) and a ``root_span_id`` that
+        every worker attempt parents onto; both are journaled inside
+        the submit record.
+        """
         spec.validate()
+        ctx = parse_traceparent((trace or {}).get("traceparent", ""))
+        client_t = (trace or {}).get("client_t")
         with self._lock:
             open_jobs = sum(1 for j in self.jobs.values() if j.open)
             if self.max_depth is not None and open_jobs >= self.max_depth:
@@ -173,7 +192,13 @@ class DurableJobQueue:
                     depth=open_jobs, max_depth=self.max_depth,
                 )
             job = Job(id=f"j{self._seq:06d}", spec=spec,
-                      submitted_at=self.clock())
+                      submitted_at=self.clock(),
+                      trace_id=ctx.trace_id if ctx else new_trace_id(),
+                      parent_span_id=ctx.span_id if ctx else None,
+                      root_span_id=new_span_id(),
+                      client_t=(float(client_t)
+                                if isinstance(client_t, (int, float))
+                                else None))
             self._seq += 1
             self._append({"op": "submit", "job": job.to_dict()})
             self.jobs[job.id] = job

@@ -202,8 +202,12 @@ def _service_worker_loop(slot: int, cmd: Any, out: Any,
     parent's subscriber sockets).
     """
     from repro.obs.events import set_event_log
+    from repro.obs.export import span_line
+    from repro.obs.logctl import set_log_context
     from repro.obs.metrics import MetricsRegistry, set_metrics
+    from repro.obs.stream import NDJSONStreamWriter
     from repro.obs.telemetry import set_telemetry
+    from repro.obs.tracer import TraceContext, Tracer, set_tracer
 
     for fd in cfg.get("close_fds", ()):
         try:
@@ -243,6 +247,39 @@ def _service_worker_loop(slot: int, cmd: Any, out: Any,
             except Exception:  # pragma: no cover - full queue
                 pass
 
+        # Distributed trace plumbing: when the daemon handed us a trace
+        # context, install a live tracer parented on the job's root span
+        # and stream every completed span to a per-attempt NDJSON file.
+        # Line-buffered appends survive the chaos os._exit, and one file
+        # per attempt keeps a SIGKILL'd attempt's spans separable from
+        # its retry's during assembly.
+        trace = job.get("trace") or {}
+        span_writer = None
+        attempt_span = None
+        if trace.get("trace_id") and trace.get("obs_dir"):
+            try:
+                span_writer = NDJSONStreamWriter(
+                    Path(trace["obs_dir"]) /
+                    f"attempt-{attempt:03d}.spans.ndjson")
+                writer = span_writer
+                tracer = Tracer(
+                    context=TraceContext(trace["trace_id"],
+                                         trace["root_span_id"]),
+                    # t0=0.0: absolute perf_counter timestamps, the
+                    # cross-process time base assembly aligns on.
+                    on_close=lambda s: writer.write_line(span_line(s, 0.0)),
+                )
+                set_tracer(tracer)
+                attempt_span = tracer.span(
+                    "job/attempt", job=job_id, attempt=attempt,
+                    slot=slot, worker_pid=pid,
+                )
+                attempt_span.__enter__()
+            except OSError:
+                span_writer = None
+                attempt_span = None
+        set_log_context(job_id=job_id, trace_id=trace.get("trace_id"))
+
         beat(0, "start")
         if spec.sleep_s > 0:
             # The wedge knob: silence after the start beat is exactly
@@ -269,6 +306,13 @@ def _service_worker_loop(slot: int, cmd: Any, out: Any,
         else:
             beat(result.get("iterations", 0), "done")
             out.put(("done", slot, job_id, result))
+        finally:
+            if attempt_span is not None:
+                attempt_span.__exit__(None, None, None)
+            set_tracer(None)
+            if span_writer is not None:
+                span_writer.close()
+            set_log_context(job_id=None, trace_id=None)
 
 
 @dataclass
@@ -388,6 +432,7 @@ class WorkerFleet:
         *,
         checkpoint: str | Path | None = None,
         restart: str | Path | None = None,
+        trace: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Hand one claimed job to an idle slot.
 
@@ -396,6 +441,11 @@ class WorkerFleet:
         first).  The degrade decision happens here: a process-backend
         job that would push the fleet past its process budget runs on
         the sim backend instead.
+
+        ``trace`` carries the job's distributed-trace context down to
+        the worker: ``{"trace_id": …, "root_span_id": …, "obs_dir": …}``
+        — the worker installs a tracer parented on ``root_span_id`` and
+        streams its per-attempt span NDJSON under ``obs_dir``.
         """
         idle = self.idle_slots()
         if not idle:
@@ -433,6 +483,7 @@ class WorkerFleet:
             "checkpoint": None if checkpoint is None else str(checkpoint),
             "restart": None if restart is None else str(restart),
             "force_backend": force_backend,
+            "trace": trace,
         }))
         return {"slot": slot.index, "degraded": degraded}
 

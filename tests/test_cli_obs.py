@@ -154,6 +154,101 @@ def test_monitor_empty_registry_errors(tmp_path, capsys):
     assert "no runs registered" in capsys.readouterr().err
 
 
+# -- runs prune ---------------------------------------------------------------
+
+
+def test_runs_prune_cli(water_xyz, tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    for _ in range(3):
+        assert _scf(water_xyz, runs_dir, "--quiet") == 0
+    capsys.readouterr()
+
+    rc = main(["runs", "--runs-dir", str(runs_dir), "prune",
+               "--keep-last", "1", "--dry-run"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "would remove 2 run(s)" in out
+    assert len(_runs(runs_dir)) == 3  # dry run deleted nothing
+
+    rc = main(["runs", "--runs-dir", str(runs_dir), "prune",
+               "--keep-last", "1"])
+    assert rc == 0
+    assert "removed 2 run(s)" in capsys.readouterr().out
+    assert len(_runs(runs_dir)) == 1
+
+
+def test_runs_prune_requires_a_policy(tmp_path, capsys):
+    rc = main(["runs", "--runs-dir", str(tmp_path / "runs"), "prune"])
+    assert rc == 2
+    assert "--keep-last" in capsys.readouterr().err
+
+
+# -- slo ----------------------------------------------------------------------
+
+
+def test_slo_from_recorded_telemetry(tmp_path, capsys):
+    ndjson = tmp_path / "telemetry.ndjson"
+    # The sink's wire format: payload keys flattened to the top level.
+    records = [
+        {"kind": "job.done", "t_s": 1.0, "source": "service",
+         "job": "j000000", "job_class": "shared-fock/sim",
+         "queue_wait_s": 0.1, "run_s": 0.4, "total_s": 0.5},
+        {"kind": "job.failed", "t_s": 2.0, "source": "service",
+         "job": "j000001", "job_class": "shared-fock/sim",
+         "queue_wait_s": 0.2, "run_s": 9.0, "total_s": 9.2},
+    ]
+    ndjson.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+    rc = main(["slo", str(ndjson)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "shared-fock/sim" in out
+    assert "p95" in out and "burn=" in out
+
+    rc = main(["slo", str(ndjson), "--json",
+               "--slo", "error_rate<0.25"])
+    rep = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert rep["targets"] == ["error_rate<0.25"]
+    cls = rep["classes"]["shared-fock/sim"]
+    assert cls["done"] == 1 and cls["failed"] == 1
+    assert cls["targets"][0]["breached"]  # 50% failures vs 25% budget
+
+
+def test_slo_bad_target_errors(tmp_path, capsys):
+    ndjson = tmp_path / "telemetry.ndjson"
+    ndjson.write_text("")
+    rc = main(["slo", str(ndjson), "--slo", "nonsense<1"])
+    assert rc == 2
+    assert "invalid --slo target" in capsys.readouterr().err
+
+
+def test_slo_latest_without_telemetry_errors(tmp_path, capsys):
+    rc = main(["slo", "latest", "--runs-dir", str(tmp_path / "runs")])
+    assert rc == 2
+    assert "telemetry" in capsys.readouterr().err
+
+
+# -- trace --------------------------------------------------------------------
+
+
+def test_trace_without_journal_errors(tmp_path, capsys):
+    rc = main(["trace", "j000000",
+               "--service-dir", str(tmp_path / "svc")])
+    assert rc == 2
+    assert "no service journal" in capsys.readouterr().err
+
+
+def test_trace_unknown_job_errors(tmp_path, capsys):
+    svc = tmp_path / "svc"
+    svc.mkdir()
+    (svc / "journal.ndjson").write_text("")
+    rc = main(["trace", "j999999", "--service-dir", str(svc),
+               "--runs-dir", str(tmp_path / "runs")])
+    assert rc == 2
+    assert "no job matches" in capsys.readouterr().err
+
+
 # -- process-backend liveness (the straggler smoke) ---------------------------
 
 

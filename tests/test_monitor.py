@@ -177,3 +177,37 @@ def test_replay_dashboard_round_trip():
     assert "[mpi-only]" in frame
     assert "converged" in frame
     assert "run.end" in frame
+
+
+# -- service latency panel ----------------------------------------------------
+
+
+def test_latency_panel_folds_terminal_jobs_and_burn():
+    state = MonitorState()
+    for i in range(4):
+        state.apply(rec("job.done", 1.0 + i, source="service",
+                        job=f"j{i:06d}", job_class="shared-fock/sim",
+                        queue_wait_s=0.1 * (i + 1), run_s=0.5,
+                        total_s=0.5 + 0.1 * (i + 1)))
+    state.apply(rec("job.failed", 9.0, source="service", job="j000099",
+                    job_class="shared-fock/sim", queue_wait_s=40.0,
+                    run_s=30.0, total_s=70.0, error_type="ScfFailed"))
+    state.apply(rec("slo.burn_rate", 9.1, source="service",
+                    job_class="shared-fock/sim", target="total:p95<60",
+                    burn_rate=4.0))
+    state.apply(rec("slo.breach", 9.1, source="service",
+                    job_class="shared-fock/sim", target="total:p95<60",
+                    burn_rate=4.0))
+
+    hists = state.latency["shared-fock/sim"]
+    assert hists["total"].count == 5
+    assert hists["queue_wait"].count == 5
+    assert state.slo_burn[("shared-fock/sim", "total:p95<60")] == 4.0
+    assert state.slo_breaches == 1
+
+    frame = state.render()
+    assert "latency (s)" in frame
+    assert "shared-fock/sim" in frame
+    assert "qwait p50/p95/p99" in frame
+    assert "SLO: 1 breach(es)" in frame
+    assert "slo.breach" in frame  # surfaced in the event tail too

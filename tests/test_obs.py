@@ -334,3 +334,254 @@ def test_chrome_trace_event_overlay():
     assert inst["name"] == "fault.kill" and inst["pid"] == 1
     assert inst["s"] == "p"  # rank-scoped
     assert inst["ts"] == pytest.approx(1e6)  # 1 tick after span start
+
+
+# -- histogram buckets + quantiles -------------------------------------------
+
+
+def test_histogram_bucket_counts_and_cumulative():
+    import math
+
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("h", (), buckets=(1.0, 5.0, 10.0))
+    for v in (0.5, 0.9, 3.0, 7.0, 100.0):
+        h.observe(v)
+    cum = h.cumulative_buckets()
+    assert cum == [(1.0, 2), (5.0, 3), (10.0, 4), (math.inf, 5)]
+    # Boundary values land in their own (le-inclusive) bucket.
+    h2 = Histogram("h2", (), buckets=(1.0, 5.0))
+    h2.observe(1.0)
+    assert h2.cumulative_buckets()[0] == (1.0, 1)
+
+
+def test_histogram_quantile_interpolation():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("h", (), buckets=(1.0, 2.0, 4.0, 8.0))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    assert h.quantile(0.0) is not None
+    # p50 falls inside the (1, 2] bucket; interpolated, clamped sane.
+    assert 1.0 <= h.quantile(0.5) <= 2.0
+    assert h.quantile(1.0) == pytest.approx(3.0)  # clamped to observed max
+    assert Histogram("e", (), buckets=(1.0,)).quantile(0.5) is None  # empty
+
+
+def test_histogram_quantile_clamps_to_observed_range():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("h", (), buckets=(10.0, 100.0))
+    h.observe(2.0)
+    h.observe(3.0)
+    # Both fall in (0, 10]; interpolation must not dip below min=2.
+    assert h.quantile(0.01) >= 2.0
+    assert h.quantile(0.99) <= 3.0
+
+
+def test_histogram_snapshot_includes_buckets():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("h", (), buckets=(1.0, 5.0))
+    h.observe(0.5)
+    snap = h.snapshot()
+    assert snap["buckets"] == [[1.0, 1], [5.0, 1], ["+Inf", 1]]
+    json.dumps(snap)
+
+
+def test_registry_histogram_buckets_once():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0))
+    h.observe(1.5)
+    again = reg.histogram("h", buckets=(9.0,))  # ignored once populated
+    assert again is h
+    assert [le for le, _ in h.cumulative_buckets()][:2] == [1.0, 2.0]
+
+
+def test_prometheus_histogram_bucket_export():
+    from repro.obs import prometheus_text
+
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_lat", buckets=(0.1, 1.0), job="a")
+    for v in (0.05, 0.5, 2.0):
+        h.observe(v)
+    text = prometheus_text(reg)
+    assert '# TYPE repro_lat histogram' in text
+    assert 'repro_lat_bucket{job="a",le="0.1"} 1' in text
+    assert 'repro_lat_bucket{job="a",le="1"} 2' in text
+    assert 'repro_lat_bucket{job="a",le="+Inf"} 3' in text
+    assert 'repro_lat_count{job="a"} 3' in text
+    assert 'repro_lat_sum{job="a"} 2.55' in text
+
+
+# -- W3C trace context --------------------------------------------------------
+
+
+def test_traceparent_roundtrip():
+    from repro.obs.tracer import (
+        TraceContext,
+        format_traceparent,
+        new_span_id,
+        new_trace_id,
+        parse_traceparent,
+    )
+
+    ctx = TraceContext(new_trace_id(), new_span_id())
+    header = format_traceparent(ctx)
+    assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+    parsed = parse_traceparent(header)
+    assert parsed is not None
+    assert parsed.trace_id == ctx.trace_id
+    assert parsed.span_id == ctx.span_id
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "junk",
+    "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # wrong version
+    "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+    "00-" + "a" * 32 + "-" + "b" * 15 + "-01",  # short span id
+    "00-" + "g" * 32 + "-" + "b" * 16 + "-01",  # non-hex
+    "00-" + "0" * 32 + "-" + "0" * 16 + "-01",  # all-zero ids
+    "00-" + "a" * 32 + "-" + "b" * 16,          # missing flags
+])
+def test_traceparent_malformed(bad):
+    from repro.obs.tracer import parse_traceparent
+
+    assert parse_traceparent(bad) is None
+
+
+def test_context_tracer_stamps_spans():
+    from repro.obs.tracer import TraceContext
+
+    ctx = TraceContext("a" * 32, "b" * 16)
+    tracer = Tracer(clock=FakeClock(), context=ctx)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer = tracer.roots[0]
+    inner = outer.children[0]
+    assert outer.trace_id == ctx.trace_id
+    assert outer.parent_span_id == ctx.span_id  # roots hang off the ctx
+    assert inner.trace_id == ctx.trace_id
+    assert inner.parent_span_id == outer.span_id
+    assert len({outer.span_id, inner.span_id}) == 2
+
+
+def test_contextless_tracer_spans_have_no_trace_fields():
+    from repro.obs.export import span_record
+
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("x"):
+        pass
+    s = tracer.roots[0]
+    assert s.trace_id is None
+    rec = span_record(s)
+    assert "trace_id" not in rec and "span_id" not in rec
+
+
+# -- log correlation ----------------------------------------------------------
+
+
+def test_correlation_filter_stamps_records():
+    import logging
+
+    from repro.obs.logctl import (
+        CorrelationFilter,
+        clear_log_context,
+        set_log_context,
+    )
+
+    filt = CorrelationFilter()
+    rec = logging.LogRecord("n", logging.INFO, "p", 1, "msg", (), None)
+    clear_log_context()
+    try:
+        filt.filter(rec)
+        assert rec.corr == ""  # nothing set: format stays clean
+
+        set_log_context(run_id="r1", job_id="j000001", trace_id="t" * 32)
+        rec2 = logging.LogRecord("n", logging.INFO, "p", 1, "msg", (), None)
+        filt.filter(rec2)
+        assert rec2.run_id == "r1"
+        assert rec2.job_id == "j000001"
+        assert "run=r1" in rec2.corr
+        assert "job=j000001" in rec2.corr
+        assert "trace=" in rec2.corr
+
+        # Partial update: only the passed keys change; None clears.
+        set_log_context(job_id=None)
+        rec3 = logging.LogRecord("n", logging.INFO, "p", 1, "msg", (), None)
+        filt.filter(rec3)
+        assert "job=" not in rec3.corr and "run=r1" in rec3.corr
+    finally:
+        clear_log_context()
+
+
+def test_log_context_isolated_per_thread():
+    import threading
+
+    from repro.obs.logctl import (
+        clear_log_context,
+        log_context,
+        set_log_context,
+    )
+
+    clear_log_context()
+    try:
+        set_log_context(job_id="main-job")
+        seen = {}
+
+        def worker():
+            seen["before"] = log_context().get("job_id")
+            set_log_context(job_id="worker-job")
+            seen["after"] = log_context().get("job_id")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["after"] == "worker-job"
+        assert log_context()["job_id"] == "main-job"  # unpolluted
+    finally:
+        clear_log_context()
+
+
+def test_span_line_matches_span_record_bytes():
+    """The hot-path serializer is byte-identical to json.dumps(span_record)."""
+    import json
+
+    from repro.obs.export import span_line, span_record
+    from repro.obs.tracer import (
+        TraceContext,
+        Tracer,
+        new_span_id,
+        new_trace_id,
+    )
+
+    for ctx in (None, TraceContext(new_trace_id(), new_span_id())):
+        tracer = Tracer(context=ctx)
+        with tracer.span("scf/run", rank=3):
+            with tracer.span("eri/quartet_batch"):
+                pass
+            with tracer.span("fock/build", nbf=660, thread=2, frac=0.5,
+                             label="x"):
+                with tracer.span("deep/leaf"):
+                    pass
+        with tracer.span("root/alone"):
+            pass
+        for s in tracer.walk():
+            assert span_line(s, 1.5) == json.dumps(span_record(s, 1.5))
+
+
+def test_span_line_falls_back_for_unusual_spans():
+    import json
+
+    from repro.obs.export import span_line, span_record
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    with tracer.span('odd"name', rank="not-an-int"):
+        pass
+    (s,) = tracer.walk()
+    line = span_line(s)
+    assert line == json.dumps(span_record(s))
+    assert json.loads(line)["span"] == 'odd"name'

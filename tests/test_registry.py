@@ -116,3 +116,98 @@ def test_register_degrades_when_root_is_unwritable(tmp_path):
     blocker.write_text("a file, not a directory")
     registry = RunRegistry(blocker / "runs")
     assert registry.register("scf", config={}) is None
+
+
+# -- retention GC ------------------------------------------------------------
+
+
+def _seed_runs(registry, n, *, status="done"):
+    handles = []
+    for i in range(n):
+        h = registry.register("job", config={"i": i})
+        if status is not None:
+            h.finalize(status=status)
+        handles.append(h)
+    # Same-second registrations tie on the timestamp and fall back to
+    # the random id suffix: "oldest" means registry id order.
+    handles.sort(key=lambda h: h.run_id)
+    return handles
+
+
+def test_prune_keep_last(registry):
+    handles = _seed_runs(registry, 5)
+    removed = registry.prune(keep_last=2)
+    assert removed == [h.run_id for h in handles[:3]]  # oldest first
+    assert registry.run_ids() == [h.run_id for h in handles[3:]]
+    for run_id in removed:
+        assert not registry.run_dir(run_id).exists()
+
+
+def test_prune_never_touches_running_or_protected(registry):
+    live = registry.register("serve", config={})  # status stays "running"
+    done = _seed_runs(registry, 3)
+    removed = registry.prune(
+        keep_last=0, protect={done[2].run_id})
+    assert live.run_id not in removed
+    assert done[2].run_id not in removed
+    assert set(removed) == {done[0].run_id, done[1].run_id}
+    # keep_last counts retained runs including the protected ones.
+    assert len(registry.run_ids()) == 2
+
+
+def test_prune_max_age(registry):
+    import time
+
+    old, new = _seed_runs(registry, 2)
+    record = registry.run_dir(old.run_id) / "run.json"
+    past = time.time() - 3600
+    import os
+
+    os.utime(record, (past, past))
+    removed = registry.prune(max_age_s=60)
+    assert removed == [old.run_id]
+    assert registry.run_ids() == [new.run_id]
+
+
+def test_prune_max_bytes(registry):
+    handles = _seed_runs(registry, 3)
+    for h in handles:
+        (registry.run_dir(h.run_id) / "blob.bin").write_bytes(b"x" * 4096)
+    total = sum(
+        p.stat().st_size
+        for h in handles
+        for p in registry.run_dir(h.run_id).rglob("*") if p.is_file()
+    )
+    # Budget for roughly two runs: the oldest one must go.
+    removed = registry.prune(max_bytes=int(total * 2 / 3))
+    assert handles[0].run_id in removed
+    assert handles[2].run_id not in removed
+
+
+def test_prune_dry_run_deletes_nothing(registry):
+    handles = _seed_runs(registry, 3)
+    preview = registry.prune(keep_last=1, dry_run=True)
+    assert preview == [h.run_id for h in handles[:2]]
+    assert registry.run_ids() == [h.run_id for h in handles]  # intact
+    assert registry.prune(keep_last=1) == preview  # same victims for real
+
+
+def test_prune_policies_compose(registry):
+    handles = _seed_runs(registry, 4)
+    # keep_last=3 alone would drop 1; with the oldest two also aged
+    # out, the union drops 2 (any violated policy removes the run).
+    import os
+    import time
+
+    past = time.time() - 7200
+    for h in handles[:2]:
+        record = registry.run_dir(h.run_id) / "run.json"
+        os.utime(record, (past, past))
+    removed = registry.prune(keep_last=3, max_age_s=3600)
+    assert set(removed) == {handles[0].run_id, handles[1].run_id}
+
+
+def test_prune_no_policy_is_noop(registry):
+    _seed_runs(registry, 2)
+    assert registry.prune() == []
+    assert len(registry.run_ids()) == 2

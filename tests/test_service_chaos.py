@@ -124,6 +124,67 @@ def test_sigkilled_daemon_replays_journal_without_losing_jobs(tmp_path):
         _killpg(daemon)
 
 
+def test_killed_worker_retried_job_assembles_one_trace(tmp_path):
+    """A worker that dies mid-attempt must still yield a stitched trace.
+
+    The chaos spec kills the worker on attempt 1 (``os._exit``: the
+    attempt's root span is never closed, its span file ends mid-write),
+    the retry resumes from the checkpoint and finishes.  ``repro
+    trace`` must still assemble ONE well-formed trace: a single
+    trace_id, both attempts as sibling spans under the job root, no
+    orphan spans, and the synthetic queue.wait / retry.backoff /
+    checkpoint.resume segments bridging the gaps.
+    """
+    from repro.obs.trace_assembly import assemble_job_trace
+
+    service_dir = tmp_path / "svc"
+    runs_dir = tmp_path / "runs"
+    client = JobClient(service_dir)
+    daemon = _spawn_daemon(service_dir, runs_dir)
+    try:
+        job = client.submit({"xyz": WATER_XYZ, "tag": "chaos",
+                             "die_on_attempt": 1})
+        done = client.result(job["id"], timeout_s=120)
+        assert done["state"] == "done"
+        assert done["attempt"] == 2
+        assert done["trace_id"]
+    finally:
+        _killpg(daemon)
+
+    trace = assemble_job_trace(
+        service_dir / "journal.ndjson", job["id"], runs_root=runs_dir)
+    assert trace.trace_id == done["trace_id"]
+    assert trace.validate() == []  # no orphans, good intervals, one root
+
+    names = [s.name for s in trace.segments]
+    attempts = [s for s in trace.segments if s.name == "job/attempt"]
+    assert len(attempts) == 2
+    # Attempts are siblings under the job root, on their own tracks.
+    root = next(s for s in trace.segments if s.name == "service/job")
+    assert {a.parent_span_id for a in attempts} == {root.span_id}
+    assert attempts[0].pid != attempts[1].pid
+    # The killed attempt's container is synthesized from the journal;
+    # the surviving attempt's is the worker's real span.
+    assert attempts[0].synthetic and attempts[0].attrs.get("interrupted")
+    assert not attempts[1].synthetic
+    # Synthetic glue covers the non-work latency.
+    assert names.count("queue.wait") >= 1
+    assert names.count("retry.backoff") == 1
+    assert names.count("checkpoint.resume") == 1
+    # Real SCF spans from the resumed attempt made it in.
+    assert any(n.startswith("scf/") for n in names)
+
+    # The Chrome document spans client, daemon, and both attempts.
+    doc = trace.to_chrome_trace()
+    assert doc["otherData"]["trace_id"] == done["trace_id"]
+    pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert len(pids) >= 4
+    # And the critical path runs submit -> ... -> the final attempt.
+    crit = trace.critical_path
+    assert crit[0].name == "client/submit"
+    assert sum(1 for s in crit if s.name == "job/attempt") == 2
+
+
 def test_graceful_sigterm_finalizes_and_releases_socket(tmp_path):
     service_dir = tmp_path / "svc"
     daemon = _spawn_daemon(service_dir, tmp_path / "runs")
