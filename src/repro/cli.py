@@ -25,6 +25,9 @@ Commands
 ``serve``      Run the SCF job service: a daemon with a durable
                (write-ahead-journaled) queue, a supervised worker
                fleet, retry/backoff, and graceful degradation.
+``batch``      Run a workload manifest (many jobs, mixed systems)
+               through the service under a pluggable batch-scheduling
+               policy; report jobs/s, queue-wait p95, amortization.
 ``submit``     Submit an SCF job to a running service.
 ``status``     One job's record, or the whole queue + fleet health.
 ``result``     Wait for a job and print its result.
@@ -59,6 +62,7 @@ logger = logging.getLogger("repro.cli")
 ALGORITHMS = ("mpi-only", "private-fock", "shared-fock")
 BACKENDS = ("sim", "process")
 SCHEDULES = ("dlb", "static", "guided", "steal")
+BATCH_POLICIES = ("fifo", "binned", "sjf", "auto")
 DATASETS = ("0.5nm", "1.0nm", "1.5nm", "2.0nm", "5.0nm")
 TARGETS = (
     "table2", "table3", "table4",
@@ -753,6 +757,75 @@ def build_parser() -> argparse.ArgumentParser:
              "'queue_wait:p95<30', or 'error_rate<0.25' (defaults to "
              "exactly those three); drives slo.burn_rate/slo.breach "
              "telemetry and the 'repro slo' report",
+    )
+    srv.add_argument(
+        "--manifest", type=Path, default=None, metavar="FILE",
+        help="workload manifest (.ndjson/.toml) to enqueue at startup; "
+             "intake is exactly-once across restarts (a plan-fingerprint "
+             "marker in the service dir suppresses re-enqueueing)",
+    )
+    srv.add_argument(
+        "--batch-policy", choices=BATCH_POLICIES, default="binned",
+        metavar="POLICY",
+        help="batch scheduling policy for --manifest intake: "
+             f"{', '.join(BATCH_POLICIES)} (default: binned)",
+    )
+    srv.add_argument(
+        "--batch-seed", type=int, default=0, metavar="SEED",
+        help="batch-plan tie-break seed; the same seed reproduces the "
+             "identical plan (default: 0)",
+    )
+    srv.add_argument(
+        "--batch-window", type=_positive_int, default=None, metavar="N",
+        help="batch reordering window: no job moves more than N "
+             "positions from manifest order (default: 256)",
+    )
+
+    bat = sub.add_parser(
+        "batch",
+        help="run a workload manifest through the service and report "
+             "fleet throughput (jobs/s, queue-wait p95, amortization)",
+    )
+    bat.add_argument(
+        "manifest", type=Path, metavar="FILE",
+        help="workload manifest: .ndjson/.jsonl/.json (one job object "
+             "per line) or .toml ([defaults] + [[job]] tables)",
+    )
+    _add_service_dir(bat)
+    bat.add_argument(
+        "--policy", choices=BATCH_POLICIES, default="binned",
+        help="batch scheduling policy (default: binned)",
+    )
+    bat.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="plan tie-break seed (default: 0)",
+    )
+    bat.add_argument(
+        "--window", type=_positive_int, default=None, metavar="N",
+        help="reordering window / starvation bound (default: 256)",
+    )
+    bat.add_argument(
+        "--plan-only", action="store_true",
+        help="print the deterministic batch plan as JSON and exit "
+             "without contacting a daemon",
+    )
+    bat.add_argument(
+        "--output", "-o", type=Path, default=None, metavar="JSON",
+        help="throughput report path "
+             "(default: BENCH_throughput.json in the CWD)",
+    )
+    bat.add_argument(
+        "--timeout", type=_positive_float, default=600.0, metavar="S",
+        help="client-side budget for the whole batch (default: 600)",
+    )
+    bat.add_argument(
+        "--runs-dir", type=Path, default=None, metavar="DIR",
+        help="run registry root for the batch record "
+             "(default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    bat.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report instead of the table",
     )
 
     sbm = sub.add_parser("submit", help="submit an SCF job to the service")
@@ -1539,6 +1612,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         idle_exit_s=args.idle_exit,
         runs_dir=str(args.runs_dir) if args.runs_dir is not None else None,
         keep_runs=args.keep,
+        manifest=(str(args.manifest) if args.manifest is not None
+                  else None),
+        batch_policy=args.batch_policy,
+        batch_seed=args.batch_seed,
+        batch_window=args.batch_window,
         **({"slo_targets": tuple(args.slo)} if args.slo else {}),
     )
     try:
@@ -1605,6 +1683,7 @@ def _handle_service_errors(fn):
     from repro.service import (
         JobNotFound,
         JobSpecError,
+        ManifestError,
         ServiceOverloaded,
         ServiceUnavailable,
     )
@@ -1617,9 +1696,58 @@ def _handle_service_errors(fn):
     except ServiceUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
-    except (JobNotFound, JobSpecError) as exc:
+    except (JobNotFound, JobSpecError, ManifestError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.logctl import quiet_enabled
+    from repro.obs.registry import RunRegistry
+    from repro.workload import WorkloadManager, load_manifest
+
+    def run() -> int:
+        specs = load_manifest(args.manifest)
+        manager = WorkloadManager(
+            _job_client(args),
+            policy=args.policy, seed=args.seed, window=args.window,
+            registry=None if args.plan_only else RunRegistry(args.runs_dir),
+        )
+        if args.plan_only:
+            plan = manager.plan(specs)
+            print(_json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+            return 0
+        output = args.output or Path("BENCH_throughput.json")
+        try:
+            report = manager.run(
+                specs, manifest_path=str(args.manifest),
+                timeout_s=args.timeout, output=output,
+            )
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 5
+        m = report.metrics
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        elif not quiet_enabled():
+            print(f"manifest     : {args.manifest} "
+                  f"({m['jobs_total']} jobs, {m['n_batches']} batches, "
+                  f"policy {report.plan.policy})")
+            print(f"completed    : {m['jobs_done']} done, "
+                  f"{m['jobs_failed']} failed in {m['wall_s']:.2f}s "
+                  f"({m['jobs_per_s']:.2f} jobs/s)")
+            print(f"queue wait   : p50 {m['queue_wait_p50_s']*1e3:.1f} ms, "
+                  f"p95 {m['queue_wait_p95_s']*1e3:.1f} ms")
+            print(f"amortization : {m['cache_amortization_ratio']:.2f} "
+                  f"jobs per cold setup ({m['warm_setups']} warm / "
+                  f"{m['cold_setups']} cold; ERI hit rate "
+                  f"{m['eri_cache_hit_rate']:.2f})")
+            print(f"report       : {output}")
+        return 0 if m["jobs_failed"] == 0 else 1
+
+    return _handle_service_errors(run)
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -1980,6 +2108,7 @@ def main(argv: list[str] | None = None) -> int:
         "monitor": cmd_monitor,
         "runs": cmd_runs,
         "serve": cmd_serve,
+        "batch": cmd_batch,
         "submit": cmd_submit,
         "status": cmd_status,
         "result": cmd_result,

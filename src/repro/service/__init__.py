@@ -29,6 +29,7 @@ from repro.service.errors import (
     JobNotFound,
     JobSpecError,
     JobTimeoutError,
+    ManifestError,
     ServiceError,
     ServiceOverloaded,
     ServiceUnavailable,
@@ -61,6 +62,7 @@ __all__ = [
     "JobSpec",
     "JobSpecError",
     "JobTimeoutError",
+    "ManifestError",
     "RETRYABLE",
     "RetryPolicy",
     "SCHEDULES",

@@ -50,6 +50,17 @@ class JobSpecError(ServiceError, ValueError):
     """A job specification is malformed (bad algorithm, backend, ...)."""
 
 
+class ManifestError(ServiceError, ValueError):
+    """A workload manifest is malformed (bad syntax, bad entry, ...).
+
+    Messages carry ``<file>:<line>`` (NDJSON) or ``<file>: job[<k>]``
+    (TOML) locators so a thousand-job manifest pinpoints its one bad
+    entry.  Registered in :data:`_WIRE_TYPES`: a daemon asked to ingest
+    a broken manifest rejects it with this exact type on the wire, so
+    batch clients can distinguish "fix your manifest" from transient
+    service trouble."""
+
+
 class JobTimeoutError(ServiceError):
     """A job exceeded its wall-clock deadline and its worker was killed."""
 
@@ -67,7 +78,8 @@ _WIRE_TYPES: dict[str, type[ServiceError]] = {
     cls.__name__: cls
     for cls in (
         ServiceError, ServiceUnavailable, ServiceOverloaded, JobNotFound,
-        JobSpecError, JobTimeoutError, WorkerLostError, DaemonAlreadyRunning,
+        JobSpecError, ManifestError, JobTimeoutError, WorkerLostError,
+        DaemonAlreadyRunning,
     )
 }
 

@@ -169,7 +169,8 @@ class DurableJobQueue:
             return out
 
     def submit(self, spec: JobSpec,
-               trace: dict[str, Any] | None = None) -> Job:
+               trace: dict[str, Any] | None = None,
+               *, enforce_depth: bool = True) -> Job:
         """Admit one job, or shed it with :class:`ServiceOverloaded`.
 
         ``trace`` is the optional context dict a tracing client sends
@@ -179,13 +180,20 @@ class DurableJobQueue:
         old clients still get traced jobs) and a ``root_span_id`` that
         every worker attempt parents onto; both are journaled inside
         the submit record.
+
+        ``enforce_depth=False`` bypasses admission control — used only
+        by the daemon's own manifest intake (``repro serve
+        --manifest``), where the whole workload is known up front and
+        shedding the tail of its own batch would be self-defeating.
+        Client submissions always enforce the bound.
         """
         spec.validate()
         ctx = parse_traceparent((trace or {}).get("traceparent", ""))
         client_t = (trace or {}).get("client_t")
         with self._lock:
             open_jobs = sum(1 for j in self.jobs.values() if j.open)
-            if self.max_depth is not None and open_jobs >= self.max_depth:
+            if (enforce_depth and self.max_depth is not None
+                    and open_jobs >= self.max_depth):
                 raise ServiceOverloaded(
                     f"queue depth {open_jobs} at the admission bound "
                     f"{self.max_depth}; resubmit after the backlog drains",

@@ -70,6 +70,7 @@ def run_job(
     checkpoint_every: int = 1,
     beat: Callable[[int, str], None] | None = None,
     setup_cache: dict[str, Any] | None = None,
+    eri_cache_pool: dict[Any, Any] | None = None,
     force_backend: str | None = None,
     allow_exit: bool = False,
 ) -> dict[str, Any]:
@@ -84,10 +85,22 @@ def run_job(
     job checkpoints every ``checkpoint_every`` cycles, and a retry or a
     journal-replayed job resumes from the last checkpoint bitwise
     identically instead of recomputing converged cycles.
+
+    ``eri_cache_pool`` is the cross-*job* analogue of ``setup_cache``:
+    a per-worker pool of :class:`~repro.integrals.cache.QuartetCache`
+    instances keyed by ``(setup_key, eri_cache_mb)``.  A sim-backend
+    job whose system was run before on this worker starts with every
+    surviving quartet block already cached — its first Fock build hits
+    instead of recomputing, which is what makes batching many small
+    jobs of the same system pay (cached blocks are read-only, so reuse
+    cannot change the energy).  Process-backend jobs skip the pool:
+    their Fock builds happen in forked ranks whose cache fills would
+    be lost on exit.
     """
     from repro.chem.basis import BasisSet
     from repro.chem.molecule import Molecule
     from repro.core.scf_driver import ParallelSCF
+    from repro.integrals.cache import QuartetCache
     from repro.resilience import CheckpointManager, FaultPlan
     from repro.scf.convergence import ConvergenceCriteria
 
@@ -117,13 +130,33 @@ def run_job(
         if spec.max_iterations is not None else None
     )
 
+    pooled_cache: QuartetCache | None = None
+    eri_preloaded = False
+    eri_stats_before: dict[str, Any] | None = None
+
     def build_scf(backend_name: str) -> ParallelSCF:
+        nonlocal pooled_cache, eri_preloaded, eri_stats_before
+        kwargs: dict[str, Any] = {"eri_cache_mb": spec.eri_cache_mb}
+        pooled_cache = None
+        if (eri_cache_pool is not None and backend_name == "sim"
+                and spec.eri_cache_mb is not None):
+            pool_key = (key, float(spec.eri_cache_mb))
+            pooled_cache = eri_cache_pool.get(pool_key)
+            if pooled_cache is None:
+                pooled_cache = QuartetCache.from_mb(spec.eri_cache_mb)
+                if len(eri_cache_pool) >= SETUP_CACHE_SIZE:
+                    eri_cache_pool.pop(next(iter(eri_cache_pool)))
+                eri_cache_pool[pool_key] = pooled_cache
+            eri_stats_before = pooled_cache.stats()
+            eri_preloaded = eri_stats_before["entries"] > 0
+            kwargs = {"eri_cache": pooled_cache}
         return ParallelSCF(
             basis, spec.algorithm,
             nranks=spec.nranks, nthreads=spec.nthreads,
             criteria=criteria, backend=backend_name,
-            eri_cache_mb=spec.eri_cache_mb, fault_plan=plan,
+            fault_plan=plan,
             schedule=spec.schedule, incremental=spec.incremental,
+            **kwargs,
         )
 
     try:
@@ -178,6 +211,12 @@ def run_job(
     finally:
         scf.shutdown()
 
+    eri_hits = eri_misses = None
+    if pooled_cache is not None and eri_stats_before is not None:
+        after = pooled_cache.stats()
+        eri_hits = int(after["hits"] - eri_stats_before["hits"])
+        eri_misses = int(after["misses"] - eri_stats_before["misses"])
+
     return {
         "energy": float(res.energy),
         "converged": bool(res.converged),
@@ -186,6 +225,9 @@ def run_job(
         "backend": backend,
         "degraded": degraded,
         "warm_setup": warm_setup,
+        "eri_cache_preloaded": eri_preloaded,
+        "eri_cache_hits": eri_hits,
+        "eri_cache_misses": eri_misses,
         "resumed": "restart" in run_kwargs,
     }
 
@@ -222,6 +264,9 @@ def _service_worker_loop(slot: int, cmd: Any, out: Any,
     pid = os.getpid()
     interval = cfg.get("beat_interval_s", DEFAULT_BEAT_INTERVAL_S)
     setup_cache: dict[str, Any] = {}
+    # Cross-job ERI block pool (see run_job): persists with the worker,
+    # so a batch of same-system jobs computes its quartets exactly once.
+    eri_cache_pool: dict[Any, Any] = {}
 
     while True:
         msg = cmd.get()
@@ -294,6 +339,7 @@ def _service_worker_loop(slot: int, cmd: Any, out: Any,
                 checkpoint_every=cfg.get("checkpoint_every", 1),
                 beat=beat,
                 setup_cache=setup_cache,
+                eri_cache_pool=eri_cache_pool,
                 force_backend=job.get("force_backend"),
                 allow_exit=True,
             )

@@ -55,7 +55,8 @@ def service(tmp_path):
         return JobClient(overrides["service_dir"])
 
     yield start
-    for daemon, thread in started:
+    # LIFO: each close() restores the globals its start() displaced.
+    for daemon, thread in reversed(started):
         daemon._stop.set()
         thread.join(timeout=10)
         daemon.close()
